@@ -1,0 +1,23 @@
+"""Helpers shared by the benchmark modules (instance cache, result recording)."""
+
+from __future__ import annotations
+
+from repro.workloads import build_instance
+
+_instances: dict = {}
+
+
+def cached_instance(case: str, scale: float):
+    """Build (and memoize) a benchmark instance for this session."""
+    key = (case, scale)
+    if key not in _instances:
+        _instances[key] = build_instance(case, scale)
+    return _instances[key]
+
+
+def record_plan(benchmark, plan) -> None:
+    """Attach the paper's reporting columns to the benchmark entry."""
+    benchmark.extra_info["writing_time"] = round(float(plan.stats["writing_time"]), 1)
+    benchmark.extra_info["chars_on_stencil"] = int(plan.stats["num_selected"])
+    benchmark.extra_info["case"] = plan.instance.name
+    benchmark.extra_info["algorithm"] = plan.stats.get("algorithm", "?")

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation section has a benchmark
+module here.  Instances are scaled-down versions of the paper's suites so the
+whole harness runs in minutes; set ``REPRO_PAPER_SCALE=1`` (or ``REPRO_SCALE``
+to a value in (0, 1]) to run closer to paper scale.
+
+Each benchmark stores the quantities the paper reports (writing time ``T``,
+characters on the stencil ``char#``) in ``benchmark.extra_info`` so that the
+pytest-benchmark table doubles as the reproduction of the paper's table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.floorplan import AnnealingSchedule
+
+
+def bench_scale() -> float:
+    """Instance scale used by the benchmarks (smaller than the test default)."""
+    if os.environ.get("REPRO_PAPER_SCALE", "").strip() in ("1", "true", "yes"):
+        return 1.0
+    value = os.environ.get("REPRO_SCALE", "").strip()
+    if value:
+        return float(value)
+    return 0.06
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_schedule() -> AnnealingSchedule:
+    """Annealing schedule used by the 2D benchmarks (kept short)."""
+    return AnnealingSchedule(
+        initial_temperature=0.4,
+        final_temperature=5e-3,
+        cooling_rate=0.85,
+        moves_per_temperature=60,
+    )

@@ -1,0 +1,44 @@
+"""Fig. 5 — number of unsolved characters per successive-rounding LP iteration.
+
+The paper shows the unsolved count dropping steeply in the first iterations
+and flattening out near the end (which is what motivates the fast ILP
+convergence of Algorithm 2).  The benchmark records the trace for the 1M-1..4
+cases and asserts that shape: monotone decrease with the largest drop first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import cached_instance
+from repro.core.onedim import EBlow1DConfig, EBlow1DPlanner
+from repro.core.onedim.successive_rounding import SuccessiveRoundingConfig
+
+CASES = ("1M-1", "1M-2", "1M-3", "1M-4")
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_fig5_unsolved_trace(benchmark, case, scale):
+    instance = cached_instance(case, scale)
+    # Let the rounding loop run to exhaustion so the whole curve is visible.
+    config = EBlow1DConfig()
+    config.rounding = SuccessiveRoundingConfig(convergence_trigger=0)
+
+    plan = benchmark.pedantic(
+        lambda: EBlow1DPlanner(config).plan(instance), rounds=1, iterations=1
+    )
+    trace = plan.stats["unsolved_history"]
+    benchmark.extra_info["case"] = case
+    benchmark.extra_info["unsolved_per_iteration"] = trace
+    benchmark.extra_info["lp_iterations"] = plan.stats["lp_iterations"]
+
+    assert trace, "the rounding loop must run at least one LP"
+    # Monotone decrease (characters are only ever moved from unsolved to solved).
+    assert all(b <= a for a, b in zip(trace, trace[1:]))
+    # Fig. 5 shape: the bulk of the characters is placed in the first half of
+    # the iterations, with a long flat tail at the end.
+    if len(trace) >= 4:
+        halfway = trace[len(trace) // 2]
+        total_assigned = instance.num_characters - trace[-1]
+        assigned_by_half = instance.num_characters - halfway
+        assert assigned_by_half >= 0.5 * total_assigned

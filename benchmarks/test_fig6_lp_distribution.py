@@ -1,0 +1,35 @@
+"""Fig. 6 — distribution of the assignment-variable values in the last LP.
+
+The paper observes that most ``a_ij`` values in the final LP relaxation are
+close to 0 (2587 of ~2700 fall into the lowest bin for 1M-1), which is why
+the fast ILP convergence step only has to branch on a handful of variables.
+The benchmark reproduces the histogram and asserts that the lowest bin
+dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import cached_instance
+from repro.experiments import run_fig6
+
+
+@pytest.mark.parametrize("case", ["1M-1", "1M-2"])
+def test_fig6_histogram(benchmark, case, scale):
+    cached_instance(case, scale)  # warm the cache used elsewhere in the session
+
+    histogram = benchmark.pedantic(
+        lambda: run_fig6(case=case, scale=scale), rounds=1, iterations=1
+    )
+    counts = histogram["counts"]
+    benchmark.extra_info["case"] = case
+    benchmark.extra_info["histogram"] = counts
+    benchmark.extra_info["num_values"] = histogram["num_values"]
+
+    assert sum(counts) == histogram["num_values"]
+    assert histogram["num_values"] > 0
+    # Shape check (Fig. 6): "most of the values are close to 0" — the lowest
+    # fifth of the value range holds at least half of all LP values.
+    assert sum(counts[:2]) >= 0.5 * sum(counts)
+    assert counts[0] >= 0.2 * sum(counts)

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrates (not a paper table; regression tracking).
+
+These keep an eye on the performance-critical building blocks: the KD-tree
+range query, the bipartite matching, the LP solve of the simplified
+formulation, and the sequence-pair packing evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import cached_instance
+from repro.core.onedim.formulation import build_simplified_formulation
+from repro.core.profits import compute_profits
+from repro.floorplan import Block, SequencePair
+from repro.floorplan.packing import PackingContext
+from repro.geometry import KDTree
+from repro.matching import max_weight_matching
+from repro.solver import solve_lp
+
+
+def test_micro_kdtree_range_queries(benchmark):
+    rng = random.Random(0)
+    points = [
+        ((rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100)), i)
+        for i in range(2000)
+    ]
+    tree = KDTree.build(points)
+    queries = [
+        (
+            [rng.uniform(0, 80) for _ in range(3)],
+            [rng.uniform(80, 100) for _ in range(3)],
+        )
+        for _ in range(100)
+    ]
+
+    def run():
+        return sum(len(tree.query_range(lo, hi)) for lo, hi in queries)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_bipartite_matching(benchmark):
+    rng = random.Random(1)
+    weights = {
+        (f"c{i}", f"r{j}"): rng.uniform(0.1, 10)
+        for i in range(40)
+        for j in range(25)
+        if rng.random() < 0.4
+    }
+    matching = benchmark(lambda: max_weight_matching(weights))
+    assert matching
+
+
+def test_micro_simplified_lp_solve(benchmark, scale):
+    instance = cached_instance("1M-1", scale)
+    profits = compute_profits(instance)
+    num_rows = instance.row_count()
+    formulation = build_simplified_formulation(
+        instance,
+        profits,
+        characters=list(range(instance.num_characters)),
+        row_capacity=[instance.stencil.width] * num_rows,
+        row_min_blank=[0.0] * num_rows,
+        relax=True,
+    )
+    solution = benchmark(lambda: solve_lp(formulation.program))
+    assert solution.status.has_solution
+
+
+def test_micro_sequence_pair_packing(benchmark):
+    rng = random.Random(2)
+    blocks = {
+        f"b{i}": Block(
+            f"b{i}",
+            width=rng.uniform(20, 60),
+            height=rng.uniform(20, 60),
+            blank_left=rng.uniform(0, 6),
+            blank_right=rng.uniform(0, 6),
+            blank_top=rng.uniform(0, 6),
+            blank_bottom=rng.uniform(0, 6),
+        )
+        for i in range(80)
+    }
+    context = PackingContext(blocks)
+    pairs = [SequencePair.initial(list(blocks), random.Random(i)) for i in range(20)]
+
+    def run():
+        return sum(context.pack_arrays(p)[0].sum() for p in pairs)
+
+    total = benchmark(run)
+    assert total > 0

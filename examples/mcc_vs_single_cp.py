@@ -1,0 +1,58 @@
+"""Why MCC-aware planning matters: min-max vs total-reduction objectives.
+
+The paper's motivation for a new OSP formulation is that an MCC system's
+throughput is limited by its *slowest* region, so the stencil must balance
+all regions instead of just maximizing the total shot-count reduction.  This
+example plans the same 10-region instance with
+
+* the two-step heuristic of [24] (optimizes total reduction), and
+* E-BLOW (optimizes the max over regions, re-weighting profits as it goes),
+
+and prints the per-region writing times side by side.
+
+Run with::
+
+    python examples/mcc_vs_single_cp.py
+"""
+
+from __future__ import annotations
+
+from repro import evaluate_plan
+from repro.baselines import Heuristic1DPlanner
+from repro.core.onedim import EBlow1DPlanner
+from repro.workloads import build_instance
+
+
+def describe(label: str, report) -> None:
+    print(f"\n{label}")
+    print(f"  system writing time (max over regions): {report.total:.0f}")
+    print(f"  characters on stencil                 : {report.num_selected}")
+    bars = ""
+    worst = max(report.region_times)
+    for index, time in enumerate(report.region_times):
+        bar = "#" * int(40 * time / worst)
+        bars += f"  w{index + 1:<2} {time:>10.0f} {bar}\n"
+    print(bars, end="")
+
+
+def main() -> None:
+    # 1M-2 is one of the paper's MCC benchmark cases (scaled down here).
+    instance = build_instance("1M-2", scale=0.12)
+    print(f"instance {instance.name}: {instance.num_characters} candidates, "
+          f"{instance.num_regions} CP regions")
+
+    heuristic_plan = Heuristic1DPlanner().plan(instance)
+    eblow_plan = EBlow1DPlanner().plan(instance)
+
+    describe("two-step heuristic [24] (total-reduction objective)",
+             evaluate_plan(heuristic_plan))
+    describe("E-BLOW (min-max objective, Eqn. 1)", evaluate_plan(eblow_plan))
+
+    gain = (
+        evaluate_plan(heuristic_plan).total - evaluate_plan(eblow_plan).total
+    ) / evaluate_plan(heuristic_plan).total
+    print(f"\nE-BLOW reduces the MCC system writing time by {gain:.1%} on this instance.")
+
+
+if __name__ == "__main__":
+    main()

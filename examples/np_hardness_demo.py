@@ -1,0 +1,93 @@
+"""NP-hardness constructions of Section 2.2, end to end.
+
+Walks the full reduction chain of the paper's hardness proof on the concrete
+examples it uses:
+
+1. the 3SAT formula of Eqn. (9) is converted to a Bounded Subset Sum (BSS)
+   instance (Fig. 13),
+2. a BSS witness is found and decoded back into a satisfying assignment,
+3. the BSS instance of Fig. 3 is converted into a single-row 1DOSP instance,
+   and the correspondence between "subset sums to s" and "characters fit the
+   stencil with low writing time" is verified with the actual planner data
+   structures.
+
+Run with::
+
+    python examples/np_hardness_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.model import StencilPlan, system_writing_time
+from repro.nphard import (
+    BSSInstance,
+    Clause,
+    SatInstance,
+    bss_to_osp,
+    decode_assignment,
+    evaluate_sat,
+    minimum_packing_length,
+    sat_to_bss,
+    solve_subset_sum,
+)
+
+
+def step_1_sat_to_bss() -> None:
+    print("Step 1: 3SAT -> Bounded Subset Sum (Eqn. 9 / Fig. 13)")
+    formula = SatInstance(
+        num_variables=4,
+        clauses=(
+            Clause(literals=((0, True), (2, False), (3, False))),   # y1 | !y3 | !y4
+            Clause(literals=((0, False), (1, True), (3, False))),   # !y1 | y2 | !y4
+        ),
+    )
+    bss, index = sat_to_bss(formula)
+    print(f"  numbers generated : {len(bss.numbers)} (2n + 3m)")
+    print(f"  target s          : {bss.target}")
+    witness = solve_subset_sum(list(bss.numbers), bss.target)
+    assert witness is not None
+    assignment = decode_assignment(formula, index, witness)
+    print(f"  decoded assignment: {['y%d=%d' % (i + 1, int(v)) for i, v in enumerate(assignment)]}")
+    assert evaluate_sat(formula, assignment)
+    print("  the decoded assignment satisfies the formula\n")
+
+
+def step_2_bss_to_osp() -> None:
+    print("Step 2: BSS -> 1DOSP (Fig. 3)")
+    bss = BSSInstance(numbers=(1100, 1200, 2000), target=2300)
+    reduction = bss_to_osp(bss)
+    instance = reduction.instance
+    print(f"  stencil length M + s = {instance.stencil.width:.0f}")
+    for ch in instance.characters:
+        print(
+            f"  character {ch.name}: width {ch.width:.0f}, blanks {ch.blank_left:.0f}, "
+            f"VSB time {ch.vsb_shots:.0f}"
+        )
+
+    # The YES-witness {1100, 1200} corresponds to characters c1 and c2.
+    selection = ["c0", "c1", "c2"]
+    packing = minimum_packing_length(
+        [(instance.character(n).width, instance.character(n).symmetric_hblank) for n in selection]
+    )
+    plan = StencilPlan.from_rows(instance, [selection])
+    plan.validate()
+    print(f"  minimum packing of {{c0, c1, c2}}: {packing:.0f} (fits exactly)")
+    print(f"  writing time with that stencil   : "
+          f"{system_writing_time(instance, selection):.0f} = sum(x_i) - s")
+
+    # The NO-combination {1100, 2000} does not fit.
+    bad = ["c0", "c1", "c3"]
+    bad_packing = minimum_packing_length(
+        [(instance.character(n).width, instance.character(n).symmetric_hblank) for n in bad]
+    )
+    print(f"  minimum packing of {{c0, c1, c3}}: {bad_packing:.0f} "
+          f"(> {instance.stencil.width:.0f}, does not fit)")
+
+
+def main() -> None:
+    step_1_sat_to_bss()
+    step_2_bss_to_osp()
+
+
+if __name__ == "__main__":
+    main()

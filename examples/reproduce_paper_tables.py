@@ -1,0 +1,47 @@
+"""Regenerate the paper's comparison tables from the command line.
+
+This is the scripted equivalent of the ``eblow table3 / table4 / table5`` CLI
+commands: it runs every algorithm of Tables 3-5 on (scaled-down) versions of
+the paper's benchmark suites and prints tables in the paper's layout,
+including the "Avg." and "Ratio" rows.
+
+Run with::
+
+    python examples/reproduce_paper_tables.py            # quick, scaled down
+    REPRO_SCALE=0.2 python examples/reproduce_paper_tables.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation import format_comparison_table
+from repro.experiments import run_table3, run_table4, run_table5
+from repro.workloads import default_scale
+
+
+def main() -> None:
+    scale = default_scale()
+    print(f"running with instance scale {scale:.2f} "
+          f"(set REPRO_PAPER_SCALE=1 for full-size instances)\n")
+
+    start = time.perf_counter()
+    print("=== Table 3: 1DOSP comparison (subset of cases) ===")
+    table3 = run_table3(cases=["1D-1", "1D-2", "1M-1", "1M-2"], scale=scale)
+    print(format_comparison_table(table3, reference="e-blow"))
+
+    print("\n=== Table 4: 2DOSP comparison (subset of cases) ===")
+    table4 = run_table4(cases=["2D-1", "2M-1"], scale=scale)
+    print(format_comparison_table(table4, reference="e-blow"))
+
+    print("\n=== Table 5: exact ILP vs E-BLOW (tiny instances) ===")
+    table5 = run_table5(cases_1d=["1T-1", "1T-2"], cases_2d=["2T-1"], time_limit=20)
+    print(format_comparison_table(table5, reference="e-blow"))
+
+    print(f"\ntotal time: {time.perf_counter() - start:.1f} s")
+    print("The full 12-case tables are produced by the benchmark harness "
+          "(pytest benchmarks/ --benchmark-only) or the eblow CLI.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""2DOSP: pack a stencil with non-uniform characters and draw it as ASCII art.
+
+Runs the E-BLOW 2D flow (pre-filter, KD-tree clustering, fixed-outline
+simulated annealing) on a synthetic 2D instance, compares it against the
+greedy shelf packer, and renders the final stencil occupancy.
+
+Run with::
+
+    python examples/stencil_2d_packing.py
+"""
+
+from __future__ import annotations
+
+from repro import evaluate_plan, generate_2d_instance
+from repro.baselines import Greedy2DPlanner
+from repro.core.twodim import EBlow2DConfig, EBlow2DPlanner
+
+
+def ascii_stencil(plan, columns: int = 64, rows: int = 24) -> str:
+    """Coarse ASCII rendering of which stencil area is occupied."""
+    instance = plan.instance
+    grid = [["." for _ in range(columns)] for _ in range(rows)]
+    for placement in plan.placements2d:
+        ch = instance.character(placement.name)
+        x0 = int(placement.x / instance.stencil.width * columns)
+        x1 = int((placement.x + ch.width) / instance.stencil.width * columns)
+        y0 = int(placement.y / instance.stencil.height * rows)
+        y1 = int((placement.y + ch.height) / instance.stencil.height * rows)
+        for row in range(max(y0, 0), min(y1, rows)):
+            for col in range(max(x0, 0), min(x1, columns)):
+                grid[row][col] = "#"
+    return "\n".join("".join(line) for line in reversed(grid))
+
+
+def main() -> None:
+    instance = generate_2d_instance(
+        num_characters=90,
+        num_regions=4,
+        seed=7,
+        stencil_width=320.0,
+        stencil_height=320.0,
+        name="example-2d",
+    )
+    print(f"instance {instance.name}: {instance.num_characters} candidates, "
+          f"stencil {instance.stencil.width:.0f} x {instance.stencil.height:.0f}")
+
+    greedy = Greedy2DPlanner().plan(instance)
+    greedy_report = evaluate_plan(greedy)
+
+    # The default configuration sizes the annealing schedule from the number
+    # of clustered blocks; only the seed is pinned for reproducibility.
+    eblow = EBlow2DPlanner(EBlow2DConfig(seed=11)).plan(instance)
+    eblow_report = evaluate_plan(eblow)
+
+    print("\n                      greedy shelves   E-BLOW")
+    print(f"characters on stencil {greedy_report.num_selected:>14} {eblow_report.num_selected:>9}")
+    print(f"system writing time   {greedy_report.total:>14.0f} {eblow_report.total:>9.0f}")
+    print(f"runtime (s)           {greedy.stats['runtime_seconds']:>14.2f} "
+          f"{eblow.stats['runtime_seconds']:>9.2f}")
+    print(f"clusters formed       {'-':>14} {eblow.stats['num_clusters']:>9}")
+
+    print("\nE-BLOW stencil occupancy (each '#' is occupied area):")
+    print(ascii_stencil(eblow))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""E-BLOW: overlapping-aware stencil planning for e-beam MCC systems.
+
+This package reproduces the system described in *"E-BLOW: E-Beam Lithography
+Overlapping aware Stencil Planning for MCC System"* (Yu, Yuan, Gao, Pan —
+DAC 2013 / TCAD extension).  The top-level namespace re-exports the pieces a
+typical user needs:
+
+>>> from repro import generate_1d_instance, EBlow1DPlanner, evaluate_plan
+>>> instance = generate_1d_instance(num_characters=60, num_regions=4, seed=1)
+>>> plan = EBlow1DPlanner().plan(instance)
+>>> report = evaluate_plan(plan)
+>>> report.total <= max(instance.vsb_times())
+True
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction of every table and figure of the paper.
+"""
+
+from repro.model import (
+    Character,
+    OSPInstance,
+    Placement2D,
+    Region,
+    RowPlacement,
+    StencilPlan,
+    StencilSpec,
+    WritingTimeReport,
+    evaluate_plan,
+    region_writing_times,
+    system_writing_time,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Character",
+    "Region",
+    "StencilSpec",
+    "OSPInstance",
+    "RowPlacement",
+    "Placement2D",
+    "StencilPlan",
+    "WritingTimeReport",
+    "evaluate_plan",
+    "region_writing_times",
+    "system_writing_time",
+    "EBlow1DPlanner",
+    "EBlow2DPlanner",
+    "generate_1d_instance",
+    "generate_2d_instance",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep ``import repro`` cheap and avoid import cycles while
+    # still exposing the main planners and generators at the top level.
+    if name == "EBlow1DPlanner":
+        from repro.core.onedim.planner import EBlow1DPlanner
+
+        return EBlow1DPlanner
+    if name == "EBlow2DPlanner":
+        from repro.core.twodim.planner import EBlow2DPlanner
+
+        return EBlow2DPlanner
+    if name == "generate_1d_instance":
+        from repro.workloads.generator import generate_1d_instance
+
+        return generate_1d_instance
+    if name == "generate_2d_instance":
+        from repro.workloads.generator import generate_2d_instance
+
+        return generate_2d_instance
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,89 @@
+"""Greedy 1DOSP baseline ("Greedy in [24]" of Table 3).
+
+The simplest planner the paper compares against: characters are sorted by a
+static profit density and inserted one after another into the first row with
+enough remaining space (first-fit, appending at the right end and sharing the
+touching blanks).  No mathematical programming, no region balancing, no
+re-ordering.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.profits import compute_profits
+from repro.errors import ValidationError
+from repro.model import OSPInstance, StencilPlan
+from repro.model.writing_time import evaluate_plan
+
+__all__ = ["Greedy1DConfig", "Greedy1DPlanner"]
+
+
+@dataclass
+class Greedy1DConfig:
+    """Configuration of the greedy 1D baseline."""
+
+    by_density: bool = True  # sort by profit per consumed width rather than raw profit
+
+
+class Greedy1DPlanner:
+    """First-fit greedy stencil planner for 1DOSP."""
+
+    def __init__(self, config: Greedy1DConfig | None = None) -> None:
+        self.config = config or Greedy1DConfig()
+
+    def plan(self, instance: OSPInstance) -> StencilPlan:
+        """Plan greedily and return a validated plan."""
+        if instance.kind != "1D":
+            raise ValidationError("Greedy1DPlanner expects a 1D instance")
+        start = time.perf_counter()
+        width_limit = instance.stencil.width
+        num_rows = instance.row_count()
+        profits = compute_profits(instance)
+
+        def key(i: int) -> float:
+            ch = instance.characters[i]
+            consumed = max(ch.width - ch.symmetric_hblank, 1e-9)
+            return profits[i] / consumed if self.config.by_density else profits[i]
+
+        order = sorted(range(instance.num_characters), key=lambda i: -key(i))
+
+        # Each row keeps (ordered names, current packed width, last character).
+        rows: list[list[str]] = [[] for _ in range(num_rows)]
+        used: list[float] = [0.0] * num_rows
+        last_char: list[object] = [None] * num_rows
+
+        for i in order:
+            ch = instance.characters[i]
+            if profits[i] <= 0:
+                continue
+            for r in range(num_rows):
+                if not rows[r]:
+                    if ch.width <= width_limit:
+                        rows[r].append(ch.name)
+                        used[r] = ch.width
+                        last_char[r] = ch
+                        break
+                    continue
+                prev = last_char[r]
+                extra = ch.width - prev.horizontal_overlap(ch)  # type: ignore[union-attr]
+                if used[r] + extra <= width_limit + 1e-9:
+                    rows[r].append(ch.name)
+                    used[r] += extra
+                    last_char[r] = ch
+                    break
+
+        plan = StencilPlan.from_rows(instance, rows)
+        plan.validate()
+        elapsed = time.perf_counter() - start
+        report = evaluate_plan(plan)
+        plan.stats.update(
+            {
+                "algorithm": "greedy-1d",
+                "runtime_seconds": elapsed,
+                "writing_time": report.total,
+                "num_selected": report.num_selected,
+            }
+        )
+        return plan

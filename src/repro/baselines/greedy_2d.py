@@ -1,0 +1,108 @@
+"""Greedy 2DOSP baseline ("Greedy in [24]" of Table 4).
+
+A shelf-packing heuristic: characters are sorted by profit density and packed
+into horizontal shelves left to right; a new shelf opens below the previous
+one when the current one is full.  Adjacent characters share horizontal
+blanks within a shelf and vertical blanks between shelves.  No annealing, no
+clustering, no region balancing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.profits import compute_profits
+from repro.errors import ValidationError
+from repro.model import OSPInstance, Placement2D, StencilPlan
+from repro.model.writing_time import evaluate_plan
+
+__all__ = ["Greedy2DConfig", "Greedy2DPlanner"]
+
+
+@dataclass
+class Greedy2DConfig:
+    """Configuration of the greedy shelf packer."""
+
+    by_density: bool = True
+
+
+class Greedy2DPlanner:
+    """Shelf-packing greedy planner for 2DOSP."""
+
+    def __init__(self, config: Greedy2DConfig | None = None) -> None:
+        self.config = config or Greedy2DConfig()
+
+    def plan(self, instance: OSPInstance) -> StencilPlan:
+        """Pack greedily into shelves and return a validated plan."""
+        if instance.kind != "2D":
+            raise ValidationError("Greedy2DPlanner expects a 2D instance")
+        start = time.perf_counter()
+        stencil = instance.stencil
+        profits = compute_profits(instance)
+
+        def key(i: int) -> float:
+            ch = instance.characters[i]
+            if not self.config.by_density:
+                return profits[i]
+            area = max(
+                (ch.width - ch.symmetric_hblank) * (ch.height - ch.symmetric_vblank),
+                1e-9,
+            )
+            return profits[i] / area
+
+        order = [i for i in range(instance.num_characters) if profits[i] > 0]
+        order.sort(key=lambda i: -key(i))
+
+        placements: list[Placement2D] = []
+        shelf_y = 0.0          # bottom of the current shelf
+        shelf_height = 0.0     # height of the tallest character on the shelf
+        shelf_top_blank = 0.0  # smallest top blank on the shelf (shareable with next shelf)
+        cursor_x = 0.0
+        previous = None        # last character placed on the current shelf
+
+        for i in order:
+            ch = instance.characters[i]
+            placed = False
+            while True:
+                x = cursor_x
+                if previous is not None:
+                    x -= previous.horizontal_overlap(ch)
+                if x + ch.width <= stencil.width + 1e-9 and shelf_y + ch.height <= stencil.height + 1e-9:
+                    placements.append(Placement2D(name=ch.name, x=x, y=shelf_y))
+                    cursor_x = x + ch.width
+                    shelf_height = max(shelf_height, ch.height)
+                    shelf_top_blank = (
+                        ch.blank_top
+                        if previous is None
+                        else min(shelf_top_blank, ch.blank_top)
+                    )
+                    previous = ch
+                    placed = True
+                    break
+                if previous is None:
+                    break  # character does not fit even on an empty shelf
+                # Open a new shelf, sharing the vertical blank with the old one.
+                shelf_y = shelf_y + shelf_height - min(shelf_top_blank, ch.blank_bottom)
+                shelf_height = 0.0
+                shelf_top_blank = 0.0
+                cursor_x = 0.0
+                previous = None
+                if shelf_y + ch.height > stencil.height + 1e-9:
+                    break
+            if not placed and shelf_y + shelf_height > stencil.height:
+                break
+
+        plan = StencilPlan(instance=instance, placements2d=placements)
+        plan.validate()
+        elapsed = time.perf_counter() - start
+        report = evaluate_plan(plan)
+        plan.stats.update(
+            {
+                "algorithm": "greedy-2d",
+                "runtime_seconds": elapsed,
+                "writing_time": report.total,
+                "num_selected": report.num_selected,
+            }
+        )
+        return plan

@@ -1,0 +1,181 @@
+"""Command-line interface for the E-BLOW reproduction.
+
+Examples
+--------
+Generate an instance and plan it::
+
+    eblow generate --kind 1D --characters 200 --regions 4 --out inst.json
+    eblow plan --instance inst.json --out plan.json
+
+Reproduce the paper's tables and figures (scaled down by default; pass
+``--scale 1.0`` or set ``REPRO_PAPER_SCALE=1`` for paper-scale instances)::
+
+    eblow table3
+    eblow table4 --cases 2D-1 2M-1
+    eblow table5
+    eblow fig5
+    eblow fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import __version__
+from repro.core.onedim import EBlow1DPlanner
+from repro.core.twodim import EBlow2DPlanner
+from repro.evaluation import format_comparison_table
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig11_12,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.io import load_instance, save_instance, save_plan
+from repro.workloads import build_instance, default_scale, generate_1d_instance, generate_2d_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="eblow",
+        description="E-BLOW: overlapping-aware stencil planning for e-beam MCC systems",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic OSP instance")
+    generate.add_argument("--kind", choices=["1D", "2D"], default="1D")
+    generate.add_argument("--characters", type=int, default=200)
+    generate.add_argument("--regions", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--stencil", type=float, default=500.0, help="square stencil edge")
+    generate.add_argument("--case", help="named benchmark case (overrides the options above)")
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--out", required=True)
+
+    plan = sub.add_parser("plan", help="plan an instance with E-BLOW")
+    plan.add_argument("--instance", required=True)
+    plan.add_argument("--out", default=None)
+
+    for name, helptext in (
+        ("table3", "reproduce Table 3 (1DOSP comparison)"),
+        ("table4", "reproduce Table 4 (2DOSP comparison)"),
+        ("table5", "reproduce Table 5 (exact ILP vs E-BLOW)"),
+        ("fig11", "reproduce Figs. 11-12 (E-BLOW-0 vs E-BLOW-1 ablation)"),
+    ):
+        cmd = sub.add_parser(name, help=helptext)
+        cmd.add_argument("--cases", nargs="*", default=None)
+        cmd.add_argument("--scale", type=float, default=None)
+        cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    fig5 = sub.add_parser("fig5", help="reproduce Fig. 5 (rounding convergence trace)")
+    fig5.add_argument("--cases", nargs="*", default=None)
+    fig5.add_argument("--scale", type=float, default=None)
+
+    fig6 = sub.add_parser("fig6", help="reproduce Fig. 6 (last-LP value distribution)")
+    fig6.add_argument("--case", default="1M-1")
+    fig6.add_argument("--scale", type=float, default=None)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.case:
+        instance = build_instance(args.case, args.scale or default_scale())
+    elif args.kind == "1D":
+        instance = generate_1d_instance(
+            num_characters=args.characters,
+            num_regions=args.regions,
+            seed=args.seed,
+            stencil_width=args.stencil,
+            stencil_height=args.stencil,
+        )
+    else:
+        instance = generate_2d_instance(
+            num_characters=args.characters,
+            num_regions=args.regions,
+            seed=args.seed,
+            stencil_width=args.stencil,
+            stencil_height=args.stencil,
+        )
+    save_instance(instance, args.out)
+    print(
+        f"wrote {instance.kind} instance {instance.name!r} with "
+        f"{instance.num_characters} characters to {args.out}"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    planner = EBlow1DPlanner() if instance.kind == "1D" else EBlow2DPlanner()
+    plan = planner.plan(instance)
+    print(
+        f"{instance.name}: writing time {plan.stats['writing_time']:.0f}, "
+        f"{plan.stats['num_selected']} characters on stencil, "
+        f"{plan.stats['runtime_seconds']:.2f}s"
+    )
+    if args.out:
+        save_plan(plan, args.out)
+        print(f"wrote plan to {args.out}")
+    return 0
+
+
+def _print_comparison(comparison, as_json: bool, reference: str = "e-blow") -> None:
+    if as_json:
+        print(json.dumps(comparison.to_dict(), indent=2, default=str))
+    else:
+        print(format_comparison_table(comparison, reference=reference))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "table3":
+        _print_comparison(run_table3(args.cases, args.scale), args.json)
+        return 0
+    if args.command == "table4":
+        _print_comparison(run_table4(args.cases, args.scale), args.json)
+        return 0
+    if args.command == "table5":
+        comparison = run_table5(
+            cases_1d=[c for c in (args.cases or []) if c.startswith("1T")] or None,
+            cases_2d=[c for c in (args.cases or []) if c.startswith("2T")] or None,
+        )
+        _print_comparison(comparison, args.json)
+        return 0
+    if args.command == "fig11":
+        comparison = run_fig11_12(args.cases, args.scale)
+        _print_comparison(comparison, args.json, reference="e-blow-1")
+        return 0
+    if args.command == "fig5":
+        traces = run_fig5(tuple(args.cases) if args.cases else ("1M-1", "1M-2", "1M-3", "1M-4"), args.scale)
+        for case, trace in traces.items():
+            print(f"{case}: unsolved per iteration = {trace}")
+        return 0
+    if args.command == "fig6":
+        histogram = run_fig6(args.case, args.scale)
+        print(f"case {histogram['case']}: {histogram['num_values']} LP values")
+        for lo, hi, count in zip(
+            histogram["bin_edges"], histogram["bin_edges"][1:], histogram["counts"]
+        ):
+            print(f"  {lo:.1f} - {hi:.1f}: {count}")
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""E-BLOW flow for 1DOSP (Section 3 of the paper)."""
+
+from repro.core.onedim.fast_convergence import FastConvergenceConfig, fast_ilp_convergence
+from repro.core.onedim.formulation import (
+    SimplifiedFormulation,
+    build_full_ilp,
+    build_simplified_formulation,
+)
+from repro.core.onedim.planner import EBlow1DConfig, EBlow1DPlanner
+from repro.core.onedim.post_insertion import PostInsertionConfig, post_insertion
+from repro.core.onedim.post_swap import PostSwapConfig, post_swap
+from repro.core.onedim.refinement import RefinedOrder, refine_row_order
+from repro.core.onedim.row import RowState, greedy_symmetric_order, packed_width
+from repro.core.onedim.successive_rounding import (
+    RoundingState,
+    SuccessiveRoundingConfig,
+    initial_state,
+    successive_rounding,
+)
+
+__all__ = [
+    "EBlow1DPlanner",
+    "EBlow1DConfig",
+    "RowState",
+    "greedy_symmetric_order",
+    "packed_width",
+    "RefinedOrder",
+    "refine_row_order",
+    "SimplifiedFormulation",
+    "build_simplified_formulation",
+    "build_full_ilp",
+    "RoundingState",
+    "SuccessiveRoundingConfig",
+    "initial_state",
+    "successive_rounding",
+    "FastConvergenceConfig",
+    "fast_ilp_convergence",
+    "PostSwapConfig",
+    "post_swap",
+    "PostInsertionConfig",
+    "post_insertion",
+]

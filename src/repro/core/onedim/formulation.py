@@ -1,0 +1,224 @@
+"""ILP formulations for 1DOSP.
+
+Two formulations from the paper:
+
+* :func:`build_full_ilp` — the exact co-optimization formulation (3), with
+  explicit x positions and pairwise ordering variables.  Exponentially hard;
+  only used for the tiny Table 5 instances and as a ground-truth oracle in
+  tests.
+* :func:`build_simplified_formulation` — the knapsack-style simplified
+  formulation (4) built on the symmetric-blank assumption (Lemma 1), whose LP
+  relaxation drives the successive-rounding loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model import OSPInstance
+from repro.solver import LinearProgram
+
+__all__ = [
+    "SimplifiedFormulation",
+    "build_simplified_formulation",
+    "build_full_ilp",
+]
+
+
+@dataclass
+class SimplifiedFormulation:
+    """The simplified program (4) plus the variable-index bookkeeping.
+
+    ``assign_index[(i, j)]`` is the LP variable index of ``a_ij`` (character
+    ``i`` assigned to row ``j``); ``blank_index[j]`` is the index of ``B_j``.
+    Only *unsolved* characters and rows with remaining capacity appear.
+    """
+
+    program: LinearProgram
+    assign_index: dict[tuple[int, int], int]
+    blank_index: dict[int, int]
+
+    def assignment_values(self, values: Sequence[float]) -> dict[tuple[int, int], float]:
+        """Extract the ``a_ij`` values from a solver solution vector."""
+        return {key: values[idx] for key, idx in self.assign_index.items()}
+
+
+def build_simplified_formulation(
+    instance: OSPInstance,
+    profits: Sequence[float],
+    characters: Sequence[int],
+    row_capacity: Sequence[float],
+    row_min_blank: Sequence[float],
+    relax: bool = False,
+) -> SimplifiedFormulation:
+    """Build the simplified program (4) over a subset of characters.
+
+    Parameters
+    ----------
+    instance:
+        The OSP instance.
+    profits:
+        Profit value per character (full-length vector, Eqn. 6).
+    characters:
+        Indices of the characters still unsolved (decision variables are only
+        created for these).
+    row_capacity:
+        Remaining body capacity ``W - sum (w - s)`` of every row, i.e. how
+        much additional character body width the row can still take before
+        accounting for the shared end blank ``B_j``.
+    row_min_blank:
+        Current maximum symmetric blank already on each row; ``B_j`` is lower
+        bounded by it.
+    relax:
+        Build ``a_ij`` as continuous [0, 1] variables instead of binaries
+        (successive rounding always solves the relaxation).
+    """
+    program = LinearProgram(name="1d-simplified", maximize=True)
+    assign_index: dict[tuple[int, int], int] = {}
+    blank_index: dict[int, int] = {}
+    rows = range(len(row_capacity))
+
+    for j in rows:
+        blank_index[j] = program.add_variable(f"B{j}", lower=0.0, upper=float("inf"))
+
+    objective: dict[int, float] = {}
+    for i in characters:
+        ch = instance.characters[i]
+        for j in rows:
+            if ch.width - ch.symmetric_hblank > row_capacity[j] + 1e-9:
+                continue  # cannot fit this row at all; skip the variable
+            if relax:
+                idx = program.add_variable(f"a[{i},{j}]", lower=0.0, upper=1.0)
+            else:
+                idx = program.add_binary(f"a[{i},{j}]")
+            assign_index[(i, j)] = idx
+            objective[idx] = profits[i]
+
+    # (4a) per-row capacity: sum_i (w_i - s_i) a_ij + B_j <= capacity_j
+    for j in rows:
+        coeffs: dict[int, float] = {blank_index[j]: 1.0}
+        for i in characters:
+            idx = assign_index.get((i, j))
+            if idx is None:
+                continue
+            ch = instance.characters[i]
+            coeffs[idx] = ch.width - ch.symmetric_hblank
+        program.add_constraint(coeffs, "<=", row_capacity[j], name=f"cap[{j}]")
+        # B_j is at least the largest blank already present on the row.
+        if row_min_blank[j] > 0:
+            program.add_constraint(
+                {blank_index[j]: 1.0}, ">=", row_min_blank[j], name=f"minblank[{j}]"
+            )
+
+    # (4b) B_j >= s_i * a_ij  for every candidate variable
+    for (i, j), idx in assign_index.items():
+        s_i = instance.characters[i].symmetric_hblank
+        if s_i > 0:
+            program.add_constraint(
+                {idx: s_i, blank_index[j]: -1.0}, "<=", 0.0, name=f"blank[{i},{j}]"
+            )
+
+    # (4c) each character goes to at most one row
+    for i in characters:
+        coeffs = {
+            assign_index[(i, j)]: 1.0 for j in rows if (i, j) in assign_index
+        }
+        if coeffs:
+            program.add_constraint(coeffs, "<=", 1.0, name=f"once[{i}]")
+
+    program.set_objective(objective, maximize=True)
+    return SimplifiedFormulation(
+        program=program, assign_index=assign_index, blank_index=blank_index
+    )
+
+
+def build_full_ilp(instance: OSPInstance, num_rows: int | None = None):
+    """Exact 1DOSP formulation (3): selection, row assignment, and x positions.
+
+    Returns ``(program, index)`` where ``index`` is a dictionary with the
+    variable indices: ``index["T"]``, ``index["a"][(i, k)]``,
+    ``index["x"][i]``, ``index["p"][(i, j)]``.
+
+    The formulation is only practical for a handful of characters (the paper
+    could not solve 14-character cases within an hour with GUROBI); it exists
+    for the Table 5 comparison and as a correctness oracle.
+    """
+    m = num_rows if num_rows is not None else instance.row_count()
+    n = instance.num_characters
+    width = instance.stencil.width
+    program = LinearProgram(name="1d-full-ilp", maximize=False)
+
+    t_index = program.add_variable("T", lower=0.0, upper=float("inf"))
+    x_index = {
+        i: program.add_variable(f"x{i}", lower=0.0, upper=width)
+        for i in range(n)
+    }
+    a_index = {
+        (i, k): program.add_binary(f"a[{i},{k}]") for i in range(n) for k in range(m)
+    }
+    p_index = {
+        (i, j): program.add_binary(f"p[{i},{j}]")
+        for i in range(n)
+        for j in range(i + 1, n)
+    }
+
+    # (3a) T >= T_VSB(c) - sum_i sum_k R_ic a_ik
+    for c in range(instance.num_regions):
+        coeffs: dict[int, float] = {t_index: 1.0}
+        for i in range(n):
+            r_ic = instance.reduction(i, c)
+            for k in range(m):
+                coeffs[a_index[(i, k)]] = coeffs.get(a_index[(i, k)], 0.0) + r_ic
+        program.add_constraint(coeffs, ">=", instance.vsb_time(c), name=f"time[{c}]")
+
+    # (3b) 0 <= x_i <= W - w_i
+    for i in range(n):
+        program.add_constraint(
+            {x_index[i]: 1.0}, "<=", width - instance.characters[i].width, name=f"xmax[{i}]"
+        )
+
+    # (3c) sum_k a_ik <= 1
+    for i in range(n):
+        program.add_constraint(
+            {a_index[(i, k)]: 1.0 for k in range(m)}, "<=", 1.0, name=f"once[{i}]"
+        )
+
+    # (3d)/(3e) pairwise non-overlap on a shared row
+    for i in range(n):
+        for j in range(i + 1, n):
+            ci = instance.characters[i]
+            cj = instance.characters[j]
+            w_ij = ci.width - ci.horizontal_overlap(cj)
+            w_ji = cj.width - cj.horizontal_overlap(ci)
+            for k in range(m):
+                # x_i + w_ij - x_j <= W (2 + p_ij - a_ik - a_jk)
+                program.add_constraint(
+                    {
+                        x_index[i]: 1.0,
+                        x_index[j]: -1.0,
+                        p_index[(i, j)]: -width,
+                        a_index[(i, k)]: width,
+                        a_index[(j, k)]: width,
+                    },
+                    "<=",
+                    2 * width - w_ij,
+                    name=f"left[{i},{j},{k}]",
+                )
+                # x_j + w_ji - x_i <= W (3 - p_ij - a_ik - a_jk)
+                program.add_constraint(
+                    {
+                        x_index[j]: 1.0,
+                        x_index[i]: -1.0,
+                        p_index[(i, j)]: width,
+                        a_index[(i, k)]: width,
+                        a_index[(j, k)]: width,
+                    },
+                    "<=",
+                    3 * width - w_ji,
+                    name=f"right[{i},{j},{k}]",
+                )
+
+    program.set_objective({t_index: 1.0}, maximize=False)
+    index = {"T": t_index, "a": a_index, "x": x_index, "p": p_index}
+    return program, index

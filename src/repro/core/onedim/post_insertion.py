@@ -1,0 +1,99 @@
+"""Matching-based post-insertion (Section 3.5, second half; Fig. 8).
+
+After swapping, rows usually retain a little slack.  E-BLOW inserts further
+off-stencil characters into that slack; to decide *which* character goes to
+*which* row (at most one insertion per row) it builds a bipartite graph —
+characters on one side, rows on the other, an edge when the character fits
+into the row's remaining space, weighted by the character's profit — and
+solves a maximum-weight matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.onedim.refinement import refine_row_order
+from repro.core.profits import compute_profits
+from repro.matching import max_weight_matching
+from repro.model import OSPInstance
+from repro.model.writing_time import region_writing_times
+
+__all__ = ["PostInsertionConfig", "post_insertion"]
+
+
+@dataclass
+class PostInsertionConfig:
+    """Tuning knobs of the post-insertion stage."""
+
+    max_candidates: int = 80       # off-stencil characters considered (by profit)
+    min_row_slack: float = 1.0     # rows with less remaining space are skipped
+    refinement_threshold: int = 20
+    rounds: int = 3                # repeat matching until no insertion happens
+
+
+def post_insertion(
+    instance: OSPInstance,
+    rows: list[list[str]],
+    config: PostInsertionConfig | None = None,
+) -> tuple[list[list[str]], int]:
+    """Insert additional characters into row slack via weighted matching.
+
+    Returns ``(new_rows, num_inserted)``.
+    """
+    config = config or PostInsertionConfig()
+    width_limit = instance.stencil.width
+    rows = [list(r) for r in rows]
+    inserted_total = 0
+
+    for _ in range(config.rounds):
+        selected = {name for row in rows for name in row}
+        profits = compute_profits(
+            instance, region_writing_times(instance, selected)
+        )
+        profit_by_name = {
+            ch.name: profits[i] for i, ch in enumerate(instance.characters)
+        }
+        candidates = sorted(
+            (ch.name for ch in instance.characters if ch.name not in selected),
+            key=lambda name: -profit_by_name[name],
+        )[: config.max_candidates]
+        candidates = [c for c in candidates if profit_by_name[c] > 0]
+        if not candidates:
+            break
+
+        # Current refined width (and order) of every row.
+        refined_rows = []
+        for names in rows:
+            chars = [instance.character(n) for n in names]
+            refined_rows.append(refine_row_order(chars, config.refinement_threshold))
+
+        weights: dict[tuple[str, int], float] = {}
+        orders: dict[tuple[str, int], list[str]] = {}
+        for r, (names, refined) in enumerate(zip(rows, refined_rows)):
+            slack = width_limit - refined.width
+            if slack < config.min_row_slack:
+                continue
+            for candidate in candidates:
+                ch = instance.character(candidate)
+                if ch.pattern_width > slack + max(ch.blank_left, ch.blank_right):
+                    continue  # cheap reject before running the DP
+                trial_chars = [instance.character(n) for n in names] + [ch]
+                refined_trial = refine_row_order(
+                    trial_chars, config.refinement_threshold
+                )
+                if refined_trial.width <= width_limit + 1e-9:
+                    weights[(candidate, r)] = profit_by_name[candidate]
+                    orders[(candidate, r)] = list(refined_trial.order)
+        if not weights:
+            break
+        matching = max_weight_matching(weights)
+        if not matching:
+            break
+        inserted_this_round = 0
+        for candidate, r in matching.items():
+            rows[r] = orders[(candidate, r)]
+            inserted_this_round += 1
+        inserted_total += inserted_this_round
+        if inserted_this_round == 0:
+            break
+    return rows, inserted_total

@@ -1,0 +1,128 @@
+"""Row bookkeeping for 1DOSP planning.
+
+During character selection E-BLOW reasons about rows under the
+symmetric-blank (S-Blank) assumption of Section 3.1: if every character on a
+row has symmetric blank ``s_i``, the minimum packing length of the row is
+(Lemma 1)::
+
+    sum_i (w_i - s_i) + max_i s_i
+
+:class:`RowState` tracks exactly that quantity so the successive-rounding
+loop can check "can character ``c_i`` still be assigned to row ``r_j``?" in
+O(1), and exposes the greedy optimal ordering of Fig. 7 for symmetric
+blanks.  The exact (asymmetric-blank) ordering is handled later by the
+dynamic-programming refinement (:mod:`repro.core.onedim.refinement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.model import Character
+
+__all__ = ["RowState", "greedy_symmetric_order", "packed_width"]
+
+
+@dataclass
+class RowState:
+    """Capacity bookkeeping of one stencil row under the S-Blank assumption."""
+
+    capacity: float
+    characters: list[Character] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValidationError("row capacity must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Lemma 1 quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def body_width(self) -> float:
+        """``sum_i (w_i - s_i)`` over the characters currently on the row."""
+        return sum(ch.width - ch.symmetric_hblank for ch in self.characters)
+
+    @property
+    def max_blank(self) -> float:
+        """``max_i s_i`` over the characters currently on the row (0 if empty)."""
+        if not self.characters:
+            return 0.0
+        return max(ch.symmetric_hblank for ch in self.characters)
+
+    @property
+    def used_width(self) -> float:
+        """Minimum packing length of the row (Lemma 1); 0 when empty."""
+        if not self.characters:
+            return 0.0
+        return self.body_width + self.max_blank
+
+    @property
+    def remaining(self) -> float:
+        """Capacity still available for additional character bodies."""
+        return self.capacity - self.used_width
+
+    def fits(self, character: Character) -> bool:
+        """Whether the character can be added without exceeding the capacity."""
+        new_body = self.body_width + character.width - character.symmetric_hblank
+        new_max_blank = max(self.max_blank, character.symmetric_hblank)
+        return new_body + new_max_blank <= self.capacity + 1e-9
+
+    def add(self, character: Character) -> None:
+        """Add the character (raises if it does not fit)."""
+        if not self.fits(character):
+            raise ValidationError(
+                f"character {character.name!r} does not fit on the row "
+                f"(used {self.used_width:.1f} of {self.capacity:.1f})"
+            )
+        self.characters.append(character)
+
+    def remove(self, name: str) -> Character:
+        """Remove and return the character with the given name."""
+        for i, ch in enumerate(self.characters):
+            if ch.name == name:
+                return self.characters.pop(i)
+        raise ValidationError(f"character {name!r} is not on this row")
+
+    def names(self) -> list[str]:
+        """Names of the characters currently on the row (insertion order)."""
+        return [ch.name for ch in self.characters]
+
+
+def greedy_symmetric_order(characters: list[Character]) -> list[Character]:
+    """Optimal single-row ordering under the S-Blank assumption (Fig. 7).
+
+    Characters are sorted by decreasing blank and inserted one by one at
+    either end; with symmetric blanks any end works, so we simply alternate
+    ends which also yields a packing of minimum length (Lemma 1).  The sort
+    key uses the raw blank average (not the ceiled S-Blank value) so that
+    ties introduced by the ceiling cannot push a small-blank character into
+    the middle of the packing.
+    """
+    ordered = sorted(
+        characters, key=lambda ch: -(ch.blank_left + ch.blank_right) / 2.0
+    )
+    if not ordered:
+        return []
+    from collections import deque
+
+    packing: deque[Character] = deque([ordered[0]])
+    for i, ch in enumerate(ordered[1:], start=1):
+        if i % 2:
+            packing.append(ch)
+        else:
+            packing.appendleft(ch)
+    return list(packing)
+
+
+def packed_width(characters: list[Character]) -> float:
+    """Actual packed width of an ordered row with blank sharing.
+
+    Adjacent characters share ``min(left.blank_right, right.blank_left)``.
+    """
+    if not characters:
+        return 0.0
+    width = characters[0].width
+    for left, right in zip(characters, characters[1:]):
+        width += right.width - left.horizontal_overlap(right)
+    return width

@@ -1,0 +1,143 @@
+"""Successive rounding of the simplified LP (Algorithm 1 of the paper).
+
+The loop repeatedly solves the LP relaxation of the simplified formulation
+(4), then rounds up the assignment variables that are close to the largest
+fractional value (``a_ij >= a_pq * thinv``), packs those characters onto
+their rows, updates profits with the new region writing times, and repeats
+on the remaining *unsolved* characters.
+
+The implementation also records the diagnostics the paper plots:
+
+* the number of unsolved characters after every LP iteration (Fig. 5),
+* the distribution of the ``a_ij`` values in the last LP solved (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.onedim.formulation import build_simplified_formulation
+from repro.core.onedim.row import RowState
+from repro.core.profits import compute_profits
+from repro.errors import SolverError
+from repro.model import OSPInstance
+from repro.model.writing_time import region_writing_times
+from repro.solver import solve_lp
+from repro.solver.result import SolveStatus
+
+__all__ = ["RoundingState", "SuccessiveRoundingConfig", "successive_rounding"]
+
+
+@dataclass
+class SuccessiveRoundingConfig:
+    """Tuning knobs of Algorithm 1."""
+
+    thinv: float = 0.9  # rounding threshold relative to the max a_ij
+    max_iterations: int = 50
+    lp_backend: str = "scipy"
+    # Stop early and hand over to fast ILP convergence when an iteration
+    # assigns fewer than this many characters (0 disables the early hand-over).
+    convergence_trigger: int = 3
+
+
+@dataclass
+class RoundingState:
+    """Mutable state shared by the successive-rounding and later stages."""
+
+    instance: OSPInstance
+    rows: list[RowState]
+    assignment: dict[int, int] = field(default_factory=dict)  # char index -> row
+    unsolved: set[int] = field(default_factory=set)
+    rejected: set[int] = field(default_factory=set)
+    unsolved_history: list[int] = field(default_factory=list)
+    last_lp_values: dict[tuple[int, int], float] = field(default_factory=dict)
+    lp_iterations: int = 0
+
+    @property
+    def selected_names(self) -> list[str]:
+        return [self.instance.characters[i].name for i in sorted(self.assignment)]
+
+    def region_times(self) -> list[float]:
+        return region_writing_times(self.instance, self.selected_names)
+
+    def row_names(self) -> list[list[str]]:
+        return [row.names() for row in self.rows]
+
+
+def initial_state(instance: OSPInstance, num_rows: int | None = None) -> RoundingState:
+    """Set up the empty rows and the unsolved set for Algorithm 1."""
+    m = num_rows if num_rows is not None else instance.row_count()
+    rows = [RowState(capacity=instance.stencil.width) for _ in range(m)]
+    unsolved = set()
+    rejected = set()
+    for i, ch in enumerate(instance.characters):
+        if ch.width - ch.symmetric_hblank + ch.symmetric_hblank > instance.stencil.width:
+            rejected.add(i)  # cannot fit any row even alone
+        else:
+            unsolved.add(i)
+    return RoundingState(instance=instance, rows=rows, unsolved=unsolved, rejected=rejected)
+
+
+def successive_rounding(
+    state: RoundingState, config: SuccessiveRoundingConfig | None = None
+) -> RoundingState:
+    """Run Algorithm 1 until no more characters can be rounded in.
+
+    The state is modified in place (rows filled, assignment recorded) and
+    returned for convenience.
+    """
+    config = config or SuccessiveRoundingConfig()
+    instance = state.instance
+
+    for _ in range(config.max_iterations):
+        if not state.unsolved:
+            break
+        profits = compute_profits(instance, state.region_times())
+        row_capacity = [row.capacity - row.body_width for row in state.rows]
+        row_min_blank = [row.max_blank for row in state.rows]
+        formulation = build_simplified_formulation(
+            instance=instance,
+            profits=profits,
+            characters=sorted(state.unsolved),
+            row_capacity=row_capacity,
+            row_min_blank=row_min_blank,
+            relax=True,
+        )
+        if not formulation.assign_index:
+            # No unsolved character fits on any row: everything left is rejected.
+            state.rejected.update(state.unsolved)
+            state.unsolved.clear()
+            break
+        solution = solve_lp(formulation.program, backend=config.lp_backend)
+        if solution.status != SolveStatus.OPTIMAL:
+            raise SolverError(
+                f"successive rounding LP returned {solution.status}; "
+                "the simplified formulation should always be feasible"
+            )
+        state.lp_iterations += 1
+        values = formulation.assignment_values(solution.values)
+        state.last_lp_values = values
+
+        max_value = max(values.values())
+        assigned_now = 0
+        if max_value > 1e-6:
+            threshold = max_value * config.thinv
+            candidates = sorted(values.items(), key=lambda item: -item[1])
+            for (i, j), value in candidates:
+                if value < threshold:
+                    break
+                if i not in state.unsolved:
+                    continue
+                ch = instance.characters[i]
+                if state.rows[j].fits(ch):
+                    state.rows[j].add(ch)
+                    state.assignment[i] = j
+                    state.unsolved.discard(i)
+                    assigned_now += 1
+        state.unsolved_history.append(len(state.unsolved))
+        if assigned_now == 0:
+            break
+        if config.convergence_trigger and assigned_now <= config.convergence_trigger:
+            # Too little progress per LP: let fast ILP convergence finish the job.
+            break
+    return state

@@ -1,0 +1,74 @@
+"""Character profit values (Eqn. 6 of the paper).
+
+Each character candidate gets a scalar *profit* that estimates how much the
+system writing time improves if the character is put on the stencil::
+
+    profit_i = sum_c (t_c / t_max) * (n_i - 1) * t_ic
+
+where ``t_c`` is the *current* writing time of region ``c`` and ``t_max`` is
+the current maximum over regions.  Regions that currently dominate the
+system writing time therefore weigh more, which is how E-BLOW balances the
+throughput of the different CP regions of an MCC system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.model import OSPInstance
+
+__all__ = ["compute_profits", "profit_of", "initial_region_times"]
+
+
+def initial_region_times(instance: OSPInstance, selected: Iterable[str] = ()) -> list[float]:
+    """Current writing time of every region given the already-selected characters."""
+    from repro.model.writing_time import region_writing_times
+
+    return region_writing_times(instance, selected)
+
+
+def compute_profits(
+    instance: OSPInstance,
+    region_times: Sequence[float] | None = None,
+) -> list[float]:
+    """Profit of every character candidate under the current region times.
+
+    Parameters
+    ----------
+    instance:
+        The OSP instance.
+    region_times:
+        Current writing time ``t_c`` per region.  Defaults to the pure-VSB
+        times (i.e. nothing selected yet).
+    """
+    times = list(region_times) if region_times is not None else instance.vsb_times()
+    t_max = max(times) if times else 0.0
+    profits = []
+    for i, ch in enumerate(instance.characters):
+        if t_max <= 0:
+            weightings = [0.0] * instance.num_regions
+        else:
+            weightings = [t / t_max for t in times]
+        profit = sum(
+            weightings[c] * (ch.vsb_shots - ch.cp_shots) * ch.repeats_in(c)
+            for c in range(instance.num_regions)
+        )
+        profits.append(float(profit))
+    return profits
+
+
+def profit_of(
+    instance: OSPInstance, char_index: int, region_times: Sequence[float]
+) -> float:
+    """Profit of a single character under the given region times."""
+    times = list(region_times)
+    t_max = max(times) if times else 0.0
+    if t_max <= 0:
+        return 0.0
+    ch = instance.characters[char_index]
+    return float(
+        sum(
+            (times[c] / t_max) * (ch.vsb_shots - ch.cp_shots) * ch.repeats_in(c)
+            for c in range(instance.num_regions)
+        )
+    )

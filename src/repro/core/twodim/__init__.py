@@ -1,0 +1,21 @@
+"""E-BLOW flow for 2DOSP (Section 4 of the paper)."""
+
+from repro.core.twodim.clustering import (
+    CharacterCluster,
+    ClusteringConfig,
+    cluster_characters,
+)
+from repro.core.twodim.formulation import build_full_ilp_2d
+from repro.core.twodim.planner import EBlow2DConfig, EBlow2DPlanner
+from repro.core.twodim.prefilter import PreFilterConfig, prefilter_characters
+
+__all__ = [
+    "EBlow2DPlanner",
+    "EBlow2DConfig",
+    "PreFilterConfig",
+    "prefilter_characters",
+    "ClusteringConfig",
+    "CharacterCluster",
+    "cluster_characters",
+    "build_full_ilp_2d",
+]

@@ -1,0 +1,97 @@
+"""Exact 2DOSP ILP formulation (7) of the paper.
+
+Co-optimizes character selection (``a_i``) and placement (``x_i``, ``y_i``)
+with the four big-M relative-position constraints driven by the indicator
+pairs (``p_ij``, ``q_ij``).  Only tractable for a handful of characters; it
+exists for the Table 5 comparison and as a correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+from repro.model import OSPInstance
+from repro.solver import LinearProgram
+
+__all__ = ["build_full_ilp_2d"]
+
+
+def build_full_ilp_2d(instance: OSPInstance):
+    """Build formulation (7).
+
+    Returns ``(program, index)`` where ``index`` contains the variable
+    indices: ``index["T"]``, ``index["a"][i]``, ``index["x"][i]``,
+    ``index["y"][i]``, ``index["p"][(i, j)]``, ``index["q"][(i, j)]``.
+    """
+    n = instance.num_characters
+    width = instance.stencil.width
+    height = instance.stencil.height
+    program = LinearProgram(name="2d-full-ilp", maximize=False)
+
+    t_index = program.add_variable("T", lower=0.0, upper=float("inf"))
+    a_index = {i: program.add_binary(f"a{i}") for i in range(n)}
+    x_index = {}
+    y_index = {}
+    for i in range(n):
+        ch = instance.characters[i]
+        # (7f) 0 <= x_i + w_i <= W and 0 <= y_i + h_i <= H
+        x_index[i] = program.add_variable(f"x{i}", lower=0.0, upper=width - ch.width)
+        y_index[i] = program.add_variable(f"y{i}", lower=0.0, upper=height - ch.height)
+    p_index = {}
+    q_index = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            p_index[(i, j)] = program.add_binary(f"p[{i},{j}]")
+            q_index[(i, j)] = program.add_binary(f"q[{i},{j}]")
+
+    # (7a) T >= T_VSB(c) - sum_i R_ic a_i
+    for c in range(instance.num_regions):
+        coeffs = {t_index: 1.0}
+        for i in range(n):
+            coeffs[a_index[i]] = instance.reduction(i, c)
+        program.add_constraint(coeffs, ">=", instance.vsb_time(c), name=f"time[{c}]")
+
+    # (7b)-(7e) pairwise relative-position constraints.
+    for i in range(n):
+        for j in range(i + 1, n):
+            ci = instance.characters[i]
+            cj = instance.characters[j]
+            w_ij = ci.width - ci.horizontal_overlap(cj)
+            w_ji = cj.width - cj.horizontal_overlap(ci)
+            h_ij = ci.height - ci.vertical_overlap(cj)
+            h_ji = cj.height - cj.vertical_overlap(ci)
+            p = p_index[(i, j)]
+            q = q_index[(i, j)]
+            a_i = a_index[i]
+            a_j = a_index[j]
+            # (7b) x_i + w_ij <= x_j + W (2 + p + q - a_i - a_j)
+            program.add_constraint(
+                {x_index[i]: 1.0, x_index[j]: -1.0, p: -width, q: -width, a_i: width, a_j: width},
+                "<=",
+                2 * width - w_ij,
+                name=f"left[{i},{j}]",
+            )
+            # (7c) x_i - w_ji >= x_j - W (3 + p - q - a_i - a_j)
+            #      =>  x_j - x_i - W*p + W*q + W*a_i + W*a_j <= 3W - w_ji ... rearranged:
+            program.add_constraint(
+                {x_index[j]: 1.0, x_index[i]: -1.0, p: -width, q: width, a_i: width, a_j: width},
+                "<=",
+                3 * width - w_ji,
+                name=f"right[{i},{j}]",
+            )
+            # (7d) y_i + h_ij <= y_j + H (3 - p + q - a_i - a_j)
+            program.add_constraint(
+                {y_index[i]: 1.0, y_index[j]: -1.0, p: height, q: -height, a_i: height, a_j: height},
+                "<=",
+                3 * height - h_ij,
+                name=f"below[{i},{j}]",
+            )
+            # (7e) y_i - h_ji >= y_j - H (4 - p - q - a_i - a_j)
+            program.add_constraint(
+                {y_index[j]: 1.0, y_index[i]: -1.0, p: height, q: height, a_i: height, a_j: height},
+                "<=",
+                4 * height - h_ji,
+                name=f"above[{i},{j}]",
+            )
+
+    program.set_objective({t_index: 1.0}, maximize=False)
+    index = {"T": t_index, "a": a_index, "x": x_index, "y": y_index, "p": p_index, "q": q_index}
+    return program, index

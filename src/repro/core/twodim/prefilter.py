@@ -1,0 +1,66 @@
+"""Pre-filter stage of the 2D E-BLOW flow (Fig. 9, first box).
+
+Characters with poor profit are removed before the expensive packing stages:
+the annealer only ever sees candidates that have a realistic chance of
+earning their stencil area.  The filter ranks candidates by profit density
+(profit per unit of stencil area they would consume) and keeps the best ones
+until their cumulative area reaches ``area_factor`` times the stencil area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profits import compute_profits
+from repro.model import OSPInstance
+
+__all__ = ["PreFilterConfig", "prefilter_characters"]
+
+
+@dataclass
+class PreFilterConfig:
+    """Tuning knobs of the pre-filter."""
+
+    area_factor: float = 1.5      # keep candidates up to this multiple of the stencil area
+    min_profit: float = 1e-9      # drop candidates whose profit is effectively zero
+    max_candidates: int | None = None
+
+
+def prefilter_characters(
+    instance: OSPInstance, config: PreFilterConfig | None = None
+) -> list[int]:
+    """Indices of the character candidates that survive the pre-filter.
+
+    The result is sorted by decreasing profit density so later stages can rely
+    on that ordering.
+    """
+    config = config or PreFilterConfig()
+    profits = compute_profits(instance)
+    stencil_area = instance.stencil.area
+
+    def density(i: int) -> float:
+        ch = instance.characters[i]
+        # Use the body area (footprint minus shareable blanks) so generously
+        # blanked characters are not over-penalized.
+        body_w = max(ch.width - ch.symmetric_hblank, 1e-9)
+        body_h = max(ch.height - ch.symmetric_vblank, 1e-9)
+        return profits[i] / (body_w * body_h)
+
+    candidates = [
+        i for i in range(instance.num_characters) if profits[i] > config.min_profit
+    ]
+    candidates.sort(key=lambda i: -density(i))
+
+    kept: list[int] = []
+    cumulative_area = 0.0
+    budget = config.area_factor * stencil_area
+    for i in candidates:
+        ch = instance.characters[i]
+        area = ch.width * ch.height
+        if cumulative_area + area > budget and kept:
+            break
+        kept.append(i)
+        cumulative_area += area
+        if config.max_candidates is not None and len(kept) >= config.max_candidates:
+            break
+    return kept

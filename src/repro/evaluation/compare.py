@@ -1,0 +1,118 @@
+"""Comparison harness: run several planners over a list of benchmark cases.
+
+This is the engine behind the Table 3 / Table 4 / Table 5 reproductions.
+Planners are supplied as factories so each run starts from a fresh object,
+and results are grouped per case so the reporting module can lay them out in
+the paper's row format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.evaluation.metrics import AlgorithmResult, result_from_plan
+from repro.model import OSPInstance
+from repro.workloads import build_instance
+
+__all__ = ["ComparisonRow", "Comparison", "run_comparison"]
+
+PlannerFactory = Callable[[], object]
+
+
+@dataclass
+class ComparisonRow:
+    """All algorithm results for one benchmark case."""
+
+    case: str
+    instance_summary: dict
+    results: dict[str, AlgorithmResult] = field(default_factory=dict)
+
+
+@dataclass
+class Comparison:
+    """Results of running a set of algorithms over a set of cases."""
+
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Algorithm names, preserving first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            for name in row.results:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def averages(self) -> dict[str, dict[str, float]]:
+        """Per-algorithm averages of writing time, char count, and runtime."""
+        out: dict[str, dict[str, float]] = {}
+        for name in self.algorithms():
+            results = [row.results[name] for row in self.rows if name in row.results]
+            if not results:
+                continue
+            count = len(results)
+            out[name] = {
+                "writing_time": sum(r.writing_time for r in results) / count,
+                "num_selected": sum(r.num_selected for r in results) / count,
+                "runtime_seconds": sum(r.runtime_seconds for r in results) / count,
+            }
+        return out
+
+    def ratios(self, reference: str) -> dict[str, dict[str, float]]:
+        """Averages normalised to the reference algorithm (the paper's Ratio row)."""
+        averages = self.averages()
+        if reference not in averages:
+            return {}
+        ref = averages[reference]
+        return {
+            name: {
+                metric: (values[metric] / ref[metric] if ref[metric] else float("nan"))
+                for metric in values
+            }
+            for name, values in averages.items()
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "case": row.case,
+                    "instance": row.instance_summary,
+                    "results": {k: v.to_dict() for k, v in row.results.items()},
+                }
+                for row in self.rows
+            ]
+        }
+
+
+def run_comparison(
+    cases: Sequence[str] | Sequence[OSPInstance],
+    planners: Mapping[str, PlannerFactory],
+    scale: float = 1.0,
+) -> Comparison:
+    """Run every planner on every case.
+
+    ``cases`` may contain benchmark-case names (resolved through
+    :func:`repro.workloads.build_instance` with ``scale``) or pre-built
+    :class:`OSPInstance` objects.
+    """
+    comparison = Comparison()
+    for case in cases:
+        instance = case if isinstance(case, OSPInstance) else build_instance(case, scale)
+        row = ComparisonRow(
+            case=instance.name,
+            instance_summary={
+                "num_characters": instance.num_characters,
+                "num_regions": instance.num_regions,
+                "stencil_width": instance.stencil.width,
+                "stencil_height": instance.stencil.height,
+                "kind": instance.kind,
+            },
+        )
+        for name, factory in planners.items():
+            planner = factory()
+            plan = planner.plan(instance)
+            row.results[name] = result_from_plan(plan, algorithm=name, case=instance.name)
+        comparison.rows.append(row)
+    return comparison

@@ -1,0 +1,104 @@
+"""Plain-text table rendering in the layout of the paper's Tables 3-5."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.compare import Comparison
+
+__all__ = ["format_comparison_table", "format_ratio_row"]
+
+
+def format_comparison_table(
+    comparison: Comparison,
+    reference: str | None = None,
+    metrics: Sequence[str] = ("T", "char#", "CPU(s)"),
+) -> str:
+    """Render the comparison as a fixed-width text table.
+
+    Each algorithm contributes three columns (writing time, characters on the
+    stencil, runtime); the final rows give per-algorithm averages and, when a
+    ``reference`` algorithm is named, the ratios relative to it — matching the
+    "Avg." / "Ratio" rows of the paper's tables.
+    """
+    algorithms = comparison.algorithms()
+    header_1 = ["case", "char#", "CP#"]
+    for name in algorithms:
+        header_1.extend([f"{name}:{m}" for m in metrics])
+
+    def fmt(value: float, metric: str) -> str:
+        if metric == "char#":
+            return f"{value:.0f}"
+        if metric == "CPU(s)":
+            return f"{value:.2f}"
+        return f"{value:.0f}"
+
+    lines = []
+    widths = [max(10, len(h) + 1) for h in header_1]
+    lines.append("".join(h.ljust(w) for h, w in zip(header_1, widths)))
+    lines.append("-" * sum(widths))
+
+    for row in comparison.rows:
+        cells = [
+            row.case,
+            str(row.instance_summary.get("num_characters", "")),
+            str(row.instance_summary.get("num_regions", "")),
+        ]
+        for name in algorithms:
+            result = row.results.get(name)
+            if result is None:
+                cells.extend(["-", "-", "-"])
+            else:
+                cells.extend(
+                    [
+                        fmt(result.writing_time, "T"),
+                        fmt(result.num_selected, "char#"),
+                        fmt(result.runtime_seconds, "CPU(s)"),
+                    ]
+                )
+        lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+    averages = comparison.averages()
+    cells = ["Avg.", "-", "-"]
+    for name in algorithms:
+        avg = averages.get(name)
+        if avg is None:
+            cells.extend(["-", "-", "-"])
+        else:
+            cells.extend(
+                [
+                    fmt(avg["writing_time"], "T"),
+                    fmt(avg["num_selected"], "char#"),
+                    fmt(avg["runtime_seconds"], "CPU(s)"),
+                ]
+            )
+    lines.append("-" * sum(widths))
+    lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+    if reference is not None:
+        lines.append(format_ratio_row(comparison, reference, widths, algorithms))
+    return "\n".join(lines)
+
+
+def format_ratio_row(
+    comparison: Comparison,
+    reference: str,
+    widths: Sequence[int],
+    algorithms: Sequence[str],
+) -> str:
+    """The "Ratio" row: averages normalized to the reference algorithm."""
+    ratios = comparison.ratios(reference)
+    cells = ["Ratio", "-", "-"]
+    for name in algorithms:
+        ratio = ratios.get(name)
+        if ratio is None:
+            cells.extend(["-", "-", "-"])
+        else:
+            cells.extend(
+                [
+                    f"{ratio['writing_time']:.2f}",
+                    f"{ratio['num_selected']:.2f}",
+                    f"{ratio['runtime_seconds']:.2f}",
+                ]
+            )
+    return "".join(c.ljust(w) for c, w in zip(cells, widths))

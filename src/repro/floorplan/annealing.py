@@ -1,0 +1,100 @@
+"""A small, generic simulated-annealing engine.
+
+Both the E-BLOW 2D packer and the [24]-style baseline floorplanner drive the
+same engine; they differ only in their state, neighbour, and cost functions.
+The engine uses a geometric cooling schedule with a fixed number of moves per
+temperature and keeps track of the best state ever visited.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["AnnealingSchedule", "AnnealingResult", "simulated_annealing"]
+
+S = TypeVar("S")
+
+
+@dataclass
+class AnnealingSchedule:
+    """Cooling-schedule parameters."""
+
+    initial_temperature: float = 1.0
+    final_temperature: float = 1e-3
+    cooling_rate: float = 0.92
+    moves_per_temperature: int = 60
+    max_total_moves: int = 200_000
+
+    def temperatures(self):
+        """Yield the temperature ladder."""
+        t = self.initial_temperature
+        while t > self.final_temperature:
+            yield t
+            t *= self.cooling_rate
+
+
+@dataclass
+class AnnealingResult(Generic[S]):
+    """Best state found plus search statistics."""
+
+    best_state: S
+    best_cost: float
+    moves: int
+    accepted: int
+    cost_trace: list[float]
+
+
+def simulated_annealing(
+    initial_state: S,
+    cost: Callable[[S], float],
+    neighbor: Callable[[S, random.Random], S],
+    schedule: AnnealingSchedule | None = None,
+    rng: random.Random | None = None,
+) -> AnnealingResult[S]:
+    """Minimize ``cost`` over states reachable through ``neighbor``.
+
+    The initial temperature is auto-scaled to the magnitude of the initial
+    cost so callers can use the default schedule regardless of cost units.
+    """
+    schedule = schedule or AnnealingSchedule()
+    rng = rng or random.Random(0)
+
+    current = initial_state
+    current_cost = cost(current)
+    best = current
+    best_cost = current_cost
+    scale = max(abs(current_cost), 1.0)
+
+    moves = 0
+    accepted = 0
+    trace = [current_cost]
+
+    for temperature in schedule.temperatures():
+        effective_t = temperature * scale
+        for _ in range(schedule.moves_per_temperature):
+            if moves >= schedule.max_total_moves:
+                break
+            moves += 1
+            candidate = neighbor(current, rng)
+            candidate_cost = cost(candidate)
+            delta = candidate_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(effective_t, 1e-12)):
+                current = candidate
+                current_cost = candidate_cost
+                accepted += 1
+                if current_cost < best_cost:
+                    best = current
+                    best_cost = current_cost
+        trace.append(current_cost)
+        if moves >= schedule.max_total_moves:
+            break
+    return AnnealingResult(
+        best_state=best,
+        best_cost=best_cost,
+        moves=moves,
+        accepted=accepted,
+        cost_trace=trace,
+    )

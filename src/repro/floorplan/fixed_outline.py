@@ -1,0 +1,131 @@
+"""Fixed-outline, selection-aware floorplanning for OSP.
+
+Following [24] (and Section 4.2 of the E-BLOW paper), the 2DOSP problem is
+attacked as *fixed-outline floorplanning*: blocks are packed by a sequence
+pair; any block whose placement falls outside the stencil outline is simply
+**not selected** (it will be written by VSB).  The annealer therefore
+minimizes the system writing time of the blocks that remain inside, with a
+small area-efficiency term as a tie breaker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.floorplan.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from repro.floorplan.packing import Block, PackingContext, PackingResult, pack_sequence_pair
+from repro.floorplan.sequence_pair import SequencePair
+
+__all__ = ["FixedOutlineResult", "FixedOutlinePacker"]
+
+
+@dataclass
+class FixedOutlineResult:
+    """Outcome of a fixed-outline packing run."""
+
+    inside: dict[str, tuple[float, float]]  # block name -> position
+    packing: PackingResult
+    pair: SequencePair
+    cost: float
+    annealing: AnnealingResult
+
+
+class FixedOutlinePacker:
+    """Sequence-pair simulated annealing inside a fixed outline.
+
+    Parameters
+    ----------
+    width, height:
+        The stencil outline.
+    blocks:
+        Blocks to pack (characters or clusters).
+    writing_time_of:
+        Callback mapping the *set of inside block names* to the writing-time
+        objective being minimized (the caller closes over the instance and
+        the block-to-character mapping).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        blocks: Mapping[str, Block],
+        writing_time_of: Callable[[set[str]], float],
+        area_weight: float = 0.05,
+    ) -> None:
+        self.width = width
+        self.height = height
+        self.blocks = dict(blocks)
+        self.writing_time_of = writing_time_of
+        self.area_weight = area_weight
+        self._context = PackingContext(self.blocks) if self.blocks else None
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def inside_blocks(self, packing: PackingResult) -> dict[str, tuple[float, float]]:
+        """Blocks whose placement fits entirely inside the outline."""
+        inside = {}
+        for name, (x, y) in packing.positions.items():
+            block = self.blocks[name]
+            if x + block.width <= self.width + 1e-9 and y + block.height <= self.height + 1e-9:
+                inside[name] = (x, y)
+        return inside
+
+    def cost_of(self, pair: SequencePair) -> float:
+        """Cost of a sequence pair: writing time + small out-of-outline penalty."""
+        context = self._context
+        if context is None:
+            return self.writing_time_of(set())
+        x, y = context.pack_arrays(pair)
+        inside_mask = (x + context.widths <= self.width + 1e-9) & (
+            y + context.heights <= self.height + 1e-9
+        )
+        inside = {context.names[i] for i in range(len(context.names)) if inside_mask[i]}
+        writing_time = self.writing_time_of(inside)
+        # Small pressure to shrink the overall bounding box so that more
+        # blocks can migrate inside the outline in later moves.
+        packed_width = float((x + context.widths).max()) if len(x) else 0.0
+        packed_height = float((y + context.heights).max()) if len(y) else 0.0
+        overshoot = max(0.0, packed_width - self.width) + max(
+            0.0, packed_height - self.height
+        )
+        return writing_time * (1.0 + self.area_weight * overshoot / max(self.width, 1.0))
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def pack(
+        self,
+        schedule: AnnealingSchedule | None = None,
+        seed: int = 0,
+        initial: SequencePair | None = None,
+    ) -> FixedOutlineResult:
+        """Run the annealer and return the best packing found.
+
+        ``initial`` seeds the search with a known-good sequence pair (e.g. a
+        shelf packing); the annealer keeps the best state ever visited, so the
+        result is never worse than that starting point.
+        """
+        rng = random.Random(seed)
+        names = sorted(self.blocks)
+        if initial is None:
+            initial = SequencePair.initial(names, rng)
+        result = simulated_annealing(
+            initial_state=initial,
+            cost=self.cost_of,
+            neighbor=lambda pair, r: pair.random_neighbor(r),
+            schedule=schedule,
+            rng=rng,
+        )
+        packing = pack_sequence_pair(result.best_state, self.blocks)
+        inside = self.inside_blocks(packing)
+        return FixedOutlineResult(
+            inside=inside,
+            packing=packing,
+            pair=result.best_state,
+            cost=result.best_cost,
+            annealing=result,
+        )

@@ -1,0 +1,192 @@
+"""Overlap-aware packing of a sequence pair.
+
+Given a sequence pair and the block dimensions, the classical evaluation
+computes x coordinates with a longest-path calculation over the
+"left-of" constraints and y coordinates over the "below" constraints.  The
+OSP twist is that abutting characters may *share* blank margins, so the edge
+weight from ``a`` to ``b`` is not ``width(a)`` but ``width(a) - overlap(a, b)``
+(and similarly vertically), exactly as in the 2D ILP formulation (7).
+
+The longest paths are computed with the O(n^2) dynamic program over the pair
+orderings, which is plenty for the clustered problem sizes E-BLOW produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.floorplan.sequence_pair import SequencePair
+from repro.geometry import Rect
+
+__all__ = ["Block", "PackingResult", "pack_sequence_pair", "PackingContext"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular block to pack (a character or a cluster of characters)."""
+
+    name: str
+    width: float
+    height: float
+    blank_left: float = 0.0
+    blank_right: float = 0.0
+    blank_top: float = 0.0
+    blank_bottom: float = 0.0
+
+    def horizontal_overlap(self, other: "Block") -> float:
+        """Blank shared when ``self`` abuts ``other`` on its right side."""
+        return min(self.blank_right, other.blank_left)
+
+    def vertical_overlap(self, other: "Block") -> float:
+        """Blank shared when ``self`` abuts ``other`` above it."""
+        return min(self.blank_top, other.blank_bottom)
+
+
+@dataclass
+class PackingResult:
+    """Placed blocks plus the bounding-box dimensions."""
+
+    positions: dict[str, tuple[float, float]]
+    width: float
+    height: float
+
+    def rect_of(self, block: Block) -> Rect:
+        """Placed footprint of a block."""
+        x, y = self.positions[block.name]
+        return Rect(x, y, block.width, block.height)
+
+
+def pack_sequence_pair(
+    pair: SequencePair, blocks: Mapping[str, Block]
+) -> PackingResult:
+    """Compute block positions for a sequence pair with blank sharing.
+
+    ``blocks`` must contain every name of the pair.  The packing pushes every
+    block as far down/left as its constraints allow (longest path from the
+    origin), with shared blanks subtracted on every constraint edge.
+    """
+    names = list(pair.positive)
+    pos_p = {name: i for i, name in enumerate(pair.positive)}
+    pos_n = {name: i for i, name in enumerate(pair.negative)}
+
+    # Horizontal constraint: a left-of b  <=>  a before b in both sequences.
+    # Process blocks in Gamma- order; every earlier block that is also earlier
+    # in Gamma+ is a predecessor.
+    x: dict[str, float] = {name: 0.0 for name in names}
+    order_n = list(pair.negative)
+    for idx, b in enumerate(order_n):
+        bb = blocks[b]
+        best = 0.0
+        for a in order_n[:idx]:
+            if pos_p[a] < pos_p[b]:
+                ab = blocks[a]
+                best = max(best, x[a] + ab.width - ab.horizontal_overlap(bb))
+        x[b] = best
+
+    # Vertical constraint: a below b  <=>  a after b in Gamma+, before in Gamma-.
+    y: dict[str, float] = {name: 0.0 for name in names}
+    for idx, b in enumerate(order_n):
+        bb = blocks[b]
+        best = 0.0
+        for a in order_n[:idx]:
+            if pos_p[a] > pos_p[b]:
+                ab = blocks[a]
+                best = max(best, y[a] + ab.height - ab.vertical_overlap(bb))
+        y[b] = best
+
+    width = max((x[n] + blocks[n].width for n in names), default=0.0)
+    height = max((y[n] + blocks[n].height for n in names), default=0.0)
+    return PackingResult(
+        positions={n: (x[n], y[n]) for n in names}, width=width, height=height
+    )
+
+
+class PackingContext:
+    """Pre-computed data for repeatedly packing the same block set.
+
+    The simulated-annealing loop evaluates thousands of sequence pairs over a
+    fixed block set; this context pre-computes the pairwise blank-overlap
+    matrices once and evaluates each packing with NumPy, which is an order of
+    magnitude faster than the dictionary-based :func:`pack_sequence_pair`.
+    Both paths produce identical results (verified in the test suite).
+    """
+
+    def __init__(self, blocks: Mapping[str, Block]) -> None:
+        self.names = sorted(blocks)
+        self.index = {name: i for i, name in enumerate(self.names)}
+        self.blocks = [blocks[name] for name in self.names]
+        n = len(self.names)
+        self.widths = np.array([b.width for b in self.blocks], dtype=float)
+        self.heights = np.array([b.height for b in self.blocks], dtype=float)
+        blank_right = np.array([b.blank_right for b in self.blocks], dtype=float)
+        blank_left = np.array([b.blank_left for b in self.blocks], dtype=float)
+        blank_top = np.array([b.blank_top for b in self.blocks], dtype=float)
+        blank_bottom = np.array([b.blank_bottom for b in self.blocks], dtype=float)
+        # h_edge[a, b] = width(a) - min(blank_right(a), blank_left(b))
+        self.h_edge = self.widths[:, None] - np.minimum(
+            blank_right[:, None], blank_left[None, :]
+        )
+        self.v_edge = self.heights[:, None] - np.minimum(
+            blank_top[:, None], blank_bottom[None, :]
+        )
+        self._n = n
+
+    def pack(self, pair: SequencePair) -> PackingResult:
+        """Pack a sequence pair over the context's block set."""
+        n = self._n
+        pos_p = np.empty(n, dtype=int)
+        for rank, name in enumerate(pair.positive):
+            pos_p[self.index[name]] = rank
+        order_n = [self.index[name] for name in pair.negative]
+
+        x = np.zeros(n)
+        y = np.zeros(n)
+        seen: list[int] = []
+        for b in order_n:
+            if seen:
+                prev = np.array(seen, dtype=int)
+                left_mask = pos_p[prev] < pos_p[b]
+                below_mask = ~left_mask
+                if left_mask.any():
+                    lefts = prev[left_mask]
+                    x[b] = float(np.max(x[lefts] + self.h_edge[lefts, b]))
+                if below_mask.any():
+                    belows = prev[below_mask]
+                    y[b] = float(np.max(y[belows] + self.v_edge[belows, b]))
+            seen.append(b)
+
+        width = float(np.max(x + self.widths)) if n else 0.0
+        height = float(np.max(y + self.heights)) if n else 0.0
+        return PackingResult(
+            positions={
+                name: (float(x[self.index[name]]), float(y[self.index[name]]))
+                for name in self.names
+            },
+            width=width,
+            height=height,
+        )
+
+    def pack_arrays(self, pair: SequencePair) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`pack` but return raw coordinate arrays (no dict building)."""
+        result_x = np.zeros(self._n)
+        result_y = np.zeros(self._n)
+        pos_p = np.empty(self._n, dtype=int)
+        for rank, name in enumerate(pair.positive):
+            pos_p[self.index[name]] = rank
+        order_n = [self.index[name] for name in pair.negative]
+        seen: list[int] = []
+        for b in order_n:
+            if seen:
+                prev = np.array(seen, dtype=int)
+                left_mask = pos_p[prev] < pos_p[b]
+                if left_mask.any():
+                    lefts = prev[left_mask]
+                    result_x[b] = float(np.max(result_x[lefts] + self.h_edge[lefts, b]))
+                if (~left_mask).any():
+                    belows = prev[~left_mask]
+                    result_y[b] = float(np.max(result_y[belows] + self.v_edge[belows, b]))
+            seen.append(b)
+        return result_x, result_y

@@ -1,0 +1,7 @@
+"""Geometric substrate: intervals, rectangles, and a KD-tree."""
+
+from repro.geometry.interval import Interval
+from repro.geometry.kdtree import KDTree
+from repro.geometry.rect import Rect
+
+__all__ = ["Interval", "Rect", "KDTree"]

@@ -1,0 +1,58 @@
+"""Closed 1-D intervals.
+
+Small value type used by the rectangle utilities and by the 1DOSP row
+packing code when reasoning about shared blank spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValidationError(f"interval lower bound {self.lo} exceeds upper {self.hi}")
+
+    @property
+    def length(self) -> float:
+        """Length of the interval."""
+        return self.hi - self.lo
+
+    def contains(self, value: float, tol: float = 0.0) -> bool:
+        """Whether ``value`` lies within the interval (with tolerance)."""
+        return self.lo - tol <= value <= self.hi + tol
+
+    def overlaps(self, other: "Interval", tol: float = 0.0) -> bool:
+        """Whether the two intervals intersect in more than a point."""
+        return self.lo < other.hi - tol and other.lo < self.hi - tol
+
+    def overlap_length(self, other: "Interval") -> float:
+        """Length of the intersection (0 when disjoint)."""
+        return max(0.0, min(self.hi, other.hi) - max(self.lo, other.lo))
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The intersection interval, or ``None`` when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shifted(self, delta: float) -> "Interval":
+        """Interval translated by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)

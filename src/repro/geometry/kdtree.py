@@ -1,0 +1,243 @@
+"""A k-dimensional tree with orthogonal range search and lazy deletion.
+
+Section 4.2 of the paper speeds up the character-clustering step with a
+KD-tree [Bentley 1975]: each character becomes a point whose coordinates are
+its width, height, blank spaces, and profit, and "find a similar unclustered
+character" becomes an orthogonal range query.  This module implements that
+data structure from scratch:
+
+* balanced construction from a batch of points (median split, cycling axes),
+* incremental insertion,
+* orthogonal range search (``query_range``),
+* lazy deletion (``remove``) — clustered characters are masked out without
+  rebuilding the tree, matching how Algorithm 4 consumes candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["KDTree"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class _Node(Generic[T]):
+    point: tuple[float, ...]
+    payload: T
+    axis: int
+    deleted: bool = False
+    left: "_Node[T] | None" = None
+    right: "_Node[T] | None" = None
+    subtree_size: int = 1  # live (non-deleted) nodes in this subtree
+
+
+class KDTree(Generic[T]):
+    """A point KD-tree keyed by fixed-dimension float vectors.
+
+    Parameters
+    ----------
+    dimensions:
+        Number of coordinates per point.
+    """
+
+    def __init__(self, dimensions: int) -> None:
+        if dimensions <= 0:
+            raise ValidationError("KDTree needs at least one dimension")
+        self.dimensions = dimensions
+        self._root: _Node[T] | None = None
+        self._size = 0
+        self._payload_to_node: dict[T, _Node[T]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls, points: Iterable[tuple[Sequence[float], T]], dimensions: int | None = None
+    ) -> "KDTree[T]":
+        """Build a balanced tree from ``(coordinates, payload)`` pairs."""
+        items = [(tuple(float(c) for c in coords), payload) for coords, payload in points]
+        if not items:
+            if dimensions is None:
+                raise ValidationError("cannot infer dimensions from an empty point set")
+            return cls(dimensions)
+        dims = dimensions if dimensions is not None else len(items[0][0])
+        tree = cls(dims)
+        for coords, _ in items:
+            if len(coords) != dims:
+                raise ValidationError(
+                    f"point {coords} has {len(coords)} coordinates, expected {dims}"
+                )
+        tree._root = tree._build_recursive(items, depth=0)
+        tree._size = len(items)
+        return tree
+
+    def _build_recursive(
+        self, items: list[tuple[tuple[float, ...], T]], depth: int
+    ) -> _Node[T] | None:
+        if not items:
+            return None
+        axis = depth % self.dimensions
+        items.sort(key=lambda item: item[0][axis])
+        median = len(items) // 2
+        coords, payload = items[median]
+        node = _Node(point=coords, payload=payload, axis=axis)
+        self._payload_to_node[payload] = node
+        node.left = self._build_recursive(items[:median], depth + 1)
+        node.right = self._build_recursive(items[median + 1 :], depth + 1)
+        node.subtree_size = 1 + _live_size(node.left) + _live_size(node.right)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, coords: Sequence[float], payload: T) -> None:
+        """Insert a point (O(log n) on average)."""
+        point = tuple(float(c) for c in coords)
+        if len(point) != self.dimensions:
+            raise ValidationError(
+                f"point has {len(point)} coordinates, expected {self.dimensions}"
+            )
+        if payload in self._payload_to_node and not self._payload_to_node[payload].deleted:
+            raise ValidationError(f"payload {payload!r} already present")
+        new_node = _Node(point=point, payload=payload, axis=0)
+        if self._root is None:
+            self._root = new_node
+        else:
+            node = self._root
+            path = []
+            while True:
+                path.append(node)
+                axis = node.axis
+                branch = "left" if point[axis] < node.point[axis] else "right"
+                child = getattr(node, branch)
+                if child is None:
+                    new_node.axis = (axis + 1) % self.dimensions
+                    setattr(node, branch, new_node)
+                    break
+                node = child
+            for ancestor in path:
+                ancestor.subtree_size += 1
+        self._payload_to_node[payload] = new_node
+        self._size += 1
+
+    def remove(self, payload: T) -> bool:
+        """Lazily delete the point carrying ``payload``.
+
+        Returns ``True`` when the payload existed and was live.  The node is
+        only masked; queries skip it and subtree counts are updated so empty
+        subtrees can be pruned during search.
+        """
+        node = self._payload_to_node.get(payload)
+        if node is None or node.deleted:
+            return False
+        node.deleted = True
+        self._size -= 1
+        self._refresh_counts()
+        return True
+
+    def _refresh_counts(self) -> None:
+        # Lazy deletion keeps the structure intact; recompute live counts so
+        # range queries can prune fully-deleted subtrees.  Amortised this is
+        # cheap because clustering removes many points between rebuilds.
+        def recompute(node: _Node[T] | None) -> int:
+            if node is None:
+                return 0
+            node.subtree_size = (
+                (0 if node.deleted else 1) + recompute(node.left) + recompute(node.right)
+            )
+            return node.subtree_size
+
+        recompute(self._root)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, payload: T) -> bool:
+        node = self._payload_to_node.get(payload)
+        return node is not None and not node.deleted
+
+    def query_range(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> list[T]:
+        """Payloads of all live points with ``lower[d] <= x[d] <= upper[d]``."""
+        lo = tuple(float(c) for c in lower)
+        hi = tuple(float(c) for c in upper)
+        if len(lo) != self.dimensions or len(hi) != self.dimensions:
+            raise ValidationError("range bounds must match the tree dimensionality")
+        result: list[T] = []
+        self._range_recursive(self._root, lo, hi, result)
+        return result
+
+    def _range_recursive(
+        self,
+        node: _Node[T] | None,
+        lo: tuple[float, ...],
+        hi: tuple[float, ...],
+        out: list[T],
+    ) -> None:
+        if node is None or node.subtree_size == 0:
+            return
+        axis = node.axis
+        value = node.point[axis]
+        if not node.deleted and all(
+            lo[d] <= node.point[d] <= hi[d] for d in range(self.dimensions)
+        ):
+            out.append(node.payload)
+        if lo[axis] <= value:
+            self._range_recursive(node.left, lo, hi, out)
+        if value <= hi[axis]:
+            self._range_recursive(node.right, lo, hi, out)
+
+    def nearest(self, coords: Sequence[float]) -> tuple[T, float] | None:
+        """Live payload nearest to ``coords`` in Euclidean distance."""
+        point = tuple(float(c) for c in coords)
+        if self._root is None or self._size == 0:
+            return None
+        best: list = [None, float("inf")]
+        self._nearest_recursive(self._root, point, best)
+        payload, dist_sq = best
+        return payload, dist_sq ** 0.5
+
+    def _nearest_recursive(
+        self, node: _Node[T] | None, point: tuple[float, ...], best: list
+    ) -> None:
+        if node is None or node.subtree_size == 0:
+            return
+        if not node.deleted:
+            dist_sq = sum((a - b) ** 2 for a, b in zip(node.point, point))
+            if dist_sq < best[1]:
+                best[0], best[1] = node.payload, dist_sq
+        axis = node.axis
+        diff = point[axis] - node.point[axis]
+        near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+        self._nearest_recursive(near, point, best)
+        if diff * diff < best[1]:
+            self._nearest_recursive(far, point, best)
+
+    def items(self) -> list[tuple[tuple[float, ...], T]]:
+        """All live ``(coordinates, payload)`` pairs (no particular order)."""
+        out: list[tuple[tuple[float, ...], T]] = []
+
+        def visit(node: _Node[T] | None) -> None:
+            if node is None:
+                return
+            if not node.deleted:
+                out.append((node.point, node.payload))
+            visit(node.left)
+            visit(node.right)
+
+        visit(self._root)
+        return out
+
+
+def _live_size(node: _Node | None) -> int:
+    return 0 if node is None else node.subtree_size

@@ -1,0 +1,110 @@
+"""Axis-aligned rectangles.
+
+Used by the 2DOSP packing code and by the plan validator to reason about
+character footprints, circuit patterns, and their (allowed) blank overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.geometry.interval import Interval
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A rectangle described by its lower-left corner and size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValidationError(
+                f"rectangle size must be non-negative (got {self.width} x {self.height})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Corners and spans
+    # ------------------------------------------------------------------ #
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Rectangle area."""
+        return self.width * self.height
+
+    @property
+    def x_span(self) -> Interval:
+        """Horizontal extent as an :class:`Interval`."""
+        return Interval(self.x, self.x2)
+
+    @property
+    def y_span(self) -> Interval:
+        """Vertical extent as an :class:`Interval`."""
+        return Interval(self.y, self.y2)
+
+    # ------------------------------------------------------------------ #
+    # Relations
+    # ------------------------------------------------------------------ #
+    def overlaps(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Whether the interiors of the two rectangles intersect."""
+        return (
+            self.x < other.x2 - tol
+            and other.x < self.x2 - tol
+            and self.y < other.y2 - tol
+            and other.y < self.y2 - tol
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0 when disjoint)."""
+        return self.x_span.overlap_length(other.x_span) * self.y_span.overlap_length(
+            other.y_span
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Whether ``other`` lies entirely within this rectangle."""
+        return (
+            other.x >= self.x - tol
+            and other.y >= self.y - tol
+            and other.x2 <= self.x2 + tol
+            and other.y2 <= self.y2 + tol
+        )
+
+    def contains_point(self, px: float, py: float, tol: float = 1e-9) -> bool:
+        """Whether the point (px, py) lies inside (or on the border of) the rectangle."""
+        return self.x - tol <= px <= self.x2 + tol and self.y - tol <= py <= self.y2 + tol
+
+    # ------------------------------------------------------------------ #
+    # Transforms
+    # ------------------------------------------------------------------ #
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Rectangle moved by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def inset(self, left: float, bottom: float, right: float, top: float) -> "Rect":
+        """Rectangle shrunk by the given margins (e.g. removing blanks)."""
+        new_width = self.width - left - right
+        new_height = self.height - bottom - top
+        if new_width < 0 or new_height < 0:
+            raise ValidationError("inset margins exceed rectangle size")
+        return Rect(self.x + left, self.y + bottom, new_width, new_height)
+
+    def union_hull(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both operands."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        return Rect(x, y, max(self.x2, other.x2) - x, max(self.y2, other.y2) - y)

@@ -1,0 +1,21 @@
+"""Serialization helpers (JSON instances, plans, and comparison results)."""
+
+from repro.io.serialization import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_plan,
+    save_comparison,
+    save_instance,
+    save_plan,
+)
+
+__all__ = [
+    "save_instance",
+    "load_instance",
+    "save_plan",
+    "load_plan",
+    "save_comparison",
+    "instance_to_json",
+    "instance_from_json",
+]

@@ -1,0 +1,75 @@
+"""JSON (de)serialization of instances, plans, and comparison results.
+
+The formats are intentionally simple: plain dictionaries produced by the
+``to_dict`` methods of the model classes, written with :mod:`json`.  They are
+stable enough to archive benchmark instances and planner outputs alongside
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.evaluation.compare import Comparison
+from repro.model import OSPInstance, StencilPlan
+
+__all__ = [
+    "save_instance",
+    "load_instance",
+    "save_plan",
+    "load_plan",
+    "save_comparison",
+    "instance_to_json",
+    "instance_from_json",
+]
+
+
+def instance_to_json(instance: OSPInstance, indent: int | None = 2) -> str:
+    """Serialize an instance to a JSON string."""
+    return json.dumps(instance.to_dict(), indent=indent)
+
+
+def instance_from_json(text: str) -> OSPInstance:
+    """Deserialize an instance from a JSON string."""
+    return OSPInstance.from_dict(json.loads(text))
+
+
+def save_instance(instance: OSPInstance, path: str | Path) -> Path:
+    """Write an instance to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(instance_to_json(instance))
+    return path
+
+
+def load_instance(path: str | Path) -> OSPInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_json(Path(path).read_text())
+
+
+def save_plan(plan: StencilPlan, path: str | Path) -> Path:
+    """Write a plan (without its instance) to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(plan.to_dict(), indent=2, default=_jsonable))
+    return path
+
+
+def load_plan(instance: OSPInstance, path: str | Path) -> StencilPlan:
+    """Read a plan written by :func:`save_plan`, re-attaching its instance."""
+    return StencilPlan.from_dict(instance, json.loads(Path(path).read_text()))
+
+
+def save_comparison(comparison: Comparison, path: str | Path) -> Path:
+    """Write a comparison result to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(comparison.to_dict(), indent=2, default=_jsonable))
+    return path
+
+
+def _jsonable(value):
+    """Fallback encoder for NumPy scalars and other simple objects."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, tuple)):
+        return list(value)
+    return str(value)

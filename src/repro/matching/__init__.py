@@ -1,0 +1,5 @@
+"""Matching substrate (maximum-weight bipartite matching)."""
+
+from repro.matching.bipartite import matching_weight, max_weight_matching
+
+__all__ = ["max_weight_matching", "matching_weight"]

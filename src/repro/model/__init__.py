@@ -1,0 +1,40 @@
+"""Data model for overlapping-aware stencil planning (OSP).
+
+The model package defines the vocabulary shared by every planner, baseline,
+and benchmark in the library:
+
+* :class:`~repro.model.character.Character` — a character candidate,
+* :class:`~repro.model.region.Region` — one wafer region of the MCC system,
+* :class:`~repro.model.stencil.StencilSpec` — the stencil outline,
+* :class:`~repro.model.instance.OSPInstance` — a complete problem instance,
+* :class:`~repro.model.placement.StencilPlan` — a planner's output,
+* :mod:`~repro.model.writing_time` — the Eqn. (1) objective.
+"""
+
+from repro.model.character import Character
+from repro.model.instance import OSPInstance
+from repro.model.placement import Placement2D, RowPlacement, StencilPlan
+from repro.model.region import Region
+from repro.model.stencil import StencilSpec
+from repro.model.writing_time import (
+    WritingTimeReport,
+    evaluate_plan,
+    region_writing_times,
+    system_writing_time,
+    writing_time_of_selection,
+)
+
+__all__ = [
+    "Character",
+    "Region",
+    "StencilSpec",
+    "OSPInstance",
+    "RowPlacement",
+    "Placement2D",
+    "StencilPlan",
+    "WritingTimeReport",
+    "evaluate_plan",
+    "region_writing_times",
+    "system_writing_time",
+    "writing_time_of_selection",
+]

@@ -1,0 +1,255 @@
+"""Character candidates for CP (character projection) stencils.
+
+A *character* is a pre-designed layout pattern that, once placed on the
+stencil, can be printed with a single electron-beam shot.  Each character
+candidate carries:
+
+* its bounding-box ``width`` and ``height`` (the full footprint reserved on
+  the stencil, blanks included),
+* the blank margins around the enclosed circuit pattern
+  (``blank_left``/``blank_right``/``blank_top``/``blank_bottom``) — adjacent
+  characters may *share* blanks, which is what makes the stencil planning
+  problem "overlapping aware",
+* ``vsb_shots`` — the number of VSB shots needed to print one occurrence of
+  the pattern when the character is **not** on the stencil (``n_i`` in the
+  paper); printing through CP always costs one shot,
+* ``repeats`` — how many times the pattern occurs in each wafer region
+  (``t_ic`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["Character"]
+
+
+@dataclass(frozen=True)
+class Character:
+    """A character candidate.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the candidate.
+    width, height:
+        Footprint of the character on the stencil, blanks included.
+    blank_left, blank_right:
+        Horizontal blank margins.  The usable circuit pattern therefore spans
+        ``width - blank_left - blank_right``.
+    blank_top, blank_bottom:
+        Vertical blank margins (ignored by 1DOSP, used by 2DOSP).
+    vsb_shots:
+        VSB writing cost of one occurrence when the character is not on the
+        stencil (``n_i`` in the paper).  Must be >= 1.
+    cp_shots:
+        Writing cost of one occurrence through CP mode (1 in the paper, but
+        kept configurable; the NP-hardness reduction uses 0).
+    repeats:
+        ``repeats[c]`` is the number of occurrences ``t_ic`` of this pattern
+        in wafer region ``c``.  Stored as a tuple indexed by region.
+    """
+
+    name: str
+    width: float
+    height: float
+    blank_left: float = 0.0
+    blank_right: float = 0.0
+    blank_top: float = 0.0
+    blank_bottom: float = 0.0
+    vsb_shots: float = 1.0
+    cp_shots: float = 1.0
+    repeats: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("character name must be non-empty")
+        if self.width <= 0 or self.height <= 0:
+            raise ValidationError(
+                f"character {self.name!r}: width and height must be positive "
+                f"(got {self.width} x {self.height})"
+            )
+        for label, blank in (
+            ("blank_left", self.blank_left),
+            ("blank_right", self.blank_right),
+            ("blank_top", self.blank_top),
+            ("blank_bottom", self.blank_bottom),
+        ):
+            if blank < 0:
+                raise ValidationError(
+                    f"character {self.name!r}: {label} must be non-negative (got {blank})"
+                )
+        if self.blank_left + self.blank_right > self.width:
+            raise ValidationError(
+                f"character {self.name!r}: horizontal blanks "
+                f"({self.blank_left} + {self.blank_right}) exceed width {self.width}"
+            )
+        if self.blank_top + self.blank_bottom > self.height:
+            raise ValidationError(
+                f"character {self.name!r}: vertical blanks "
+                f"({self.blank_top} + {self.blank_bottom}) exceed height {self.height}"
+            )
+        if self.vsb_shots < 0:
+            raise ValidationError(
+                f"character {self.name!r}: vsb_shots must be non-negative"
+            )
+        if self.cp_shots < 0:
+            raise ValidationError(
+                f"character {self.name!r}: cp_shots must be non-negative"
+            )
+        if any(r < 0 for r in self.repeats):
+            raise ValidationError(
+                f"character {self.name!r}: repeat counts must be non-negative"
+            )
+        # Normalise repeats to a tuple so the dataclass stays hashable.
+        object.__setattr__(self, "repeats", tuple(float(r) for r in self.repeats))
+
+    # ------------------------------------------------------------------ #
+    # Derived geometric quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def pattern_width(self) -> float:
+        """Width of the enclosed circuit pattern (footprint minus blanks)."""
+        return self.width - self.blank_left - self.blank_right
+
+    @property
+    def pattern_height(self) -> float:
+        """Height of the enclosed circuit pattern (footprint minus blanks)."""
+        return self.height - self.blank_top - self.blank_bottom
+
+    @property
+    def symmetric_hblank(self) -> float:
+        """Symmetric-blank approximation ``ceil((s_l + s_r) / 2)`` of the paper.
+
+        The simplified 1D formulation (4) assumes left blank equals right
+        blank; E-BLOW uses the ceiling of the average so blanks stay integral.
+        """
+        import math
+
+        return float(math.ceil((self.blank_left + self.blank_right) / 2.0))
+
+    @property
+    def symmetric_vblank(self) -> float:
+        """Symmetric vertical blank ``ceil((s_t + s_b) / 2)``."""
+        import math
+
+        return float(math.ceil((self.blank_top + self.blank_bottom) / 2.0))
+
+    # ------------------------------------------------------------------ #
+    # Writing-time quantities (Section 2.1 of the paper)
+    # ------------------------------------------------------------------ #
+    def repeats_in(self, region_index: int) -> float:
+        """Occurrence count ``t_ic`` in region ``region_index`` (0 if unknown)."""
+        if 0 <= region_index < len(self.repeats):
+            return self.repeats[region_index]
+        return 0.0
+
+    def total_repeats(self) -> float:
+        """Total occurrences across all regions."""
+        return float(sum(self.repeats))
+
+    def vsb_time_in(self, region_index: int) -> float:
+        """Writing time of all occurrences in a region through VSB mode."""
+        return self.repeats_in(region_index) * self.vsb_shots
+
+    def cp_time_in(self, region_index: int) -> float:
+        """Writing time of all occurrences in a region through CP mode."""
+        return self.repeats_in(region_index) * self.cp_shots
+
+    def reduction_in(self, region_index: int) -> float:
+        """Writing-time reduction ``R_ic = t_ic * (n_i - cp)`` if selected."""
+        return self.repeats_in(region_index) * (self.vsb_shots - self.cp_shots)
+
+    def total_reduction(self) -> float:
+        """Sum of :meth:`reduction_in` over all regions."""
+        return float(sum(self.reduction_in(c) for c in range(len(self.repeats))))
+
+    # ------------------------------------------------------------------ #
+    # Horizontal / vertical overlap with another character
+    # ------------------------------------------------------------------ #
+    def horizontal_overlap(self, other: "Character") -> float:
+        """Blank width shared when ``self`` is placed immediately left of ``other``.
+
+        Following [24], the shared blank between two abutting characters is
+        the smaller of the touching blanks: ``min(self.blank_right,
+        other.blank_left)``.
+        """
+        return min(self.blank_right, other.blank_left)
+
+    def vertical_overlap(self, other: "Character") -> float:
+        """Blank height shared when ``self`` is placed immediately below ``other``."""
+        return min(self.blank_top, other.blank_bottom)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors / transforms
+    # ------------------------------------------------------------------ #
+    def with_repeats(self, repeats: Sequence[float]) -> "Character":
+        """Return a copy with a new per-region repeat vector."""
+        return replace(self, repeats=tuple(float(r) for r in repeats))
+
+    def with_symmetric_blanks(self) -> "Character":
+        """Return a copy whose blanks are replaced by the symmetric averages."""
+        return replace(
+            self,
+            blank_left=self.symmetric_hblank,
+            blank_right=self.symmetric_hblank,
+            blank_top=self.symmetric_vblank,
+            blank_bottom=self.symmetric_vblank,
+        )
+
+    @classmethod
+    def standard_cell(
+        cls,
+        name: str,
+        width: float,
+        height: float,
+        hblank: float,
+        vsb_shots: float,
+        repeats: Sequence[float],
+        cp_shots: float = 1.0,
+    ) -> "Character":
+        """Build a 1DOSP-style character with symmetric horizontal blanks."""
+        return cls(
+            name=name,
+            width=width,
+            height=height,
+            blank_left=hblank,
+            blank_right=hblank,
+            vsb_shots=vsb_shots,
+            cp_shots=cp_shots,
+            repeats=tuple(float(r) for r in repeats),
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dictionary (see :mod:`repro.io`)."""
+        return {
+            "name": self.name,
+            "width": self.width,
+            "height": self.height,
+            "blank_left": self.blank_left,
+            "blank_right": self.blank_right,
+            "blank_top": self.blank_top,
+            "blank_bottom": self.blank_bottom,
+            "vsb_shots": self.vsb_shots,
+            "cp_shots": self.cp_shots,
+            "repeats": list(self.repeats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Character":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            width=data["width"],
+            height=data["height"],
+            blank_left=data.get("blank_left", 0.0),
+            blank_right=data.get("blank_right", 0.0),
+            blank_top=data.get("blank_top", 0.0),
+            blank_bottom=data.get("blank_bottom", 0.0),
+            vsb_shots=data.get("vsb_shots", 1.0),
+            cp_shots=data.get("cp_shots", 1.0),
+            repeats=tuple(data.get("repeats", ())),
+        )

@@ -1,0 +1,209 @@
+"""OSP problem instances.
+
+An :class:`OSPInstance` bundles everything the planners need: the character
+candidates, the wafer regions of the MCC system, and the stencil outline.
+It also pre-computes the constants of Section 2.1 of the paper:
+
+* ``T_VSB(c)`` — writing time of region ``c`` when no character is on the
+  stencil (pure VSB),
+* ``R_ic``   — writing-time reduction of character ``i`` in region ``c`` when
+  the character is selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.model.character import Character
+from repro.model.region import Region
+from repro.model.stencil import StencilSpec
+
+__all__ = ["OSPInstance"]
+
+
+@dataclass(frozen=True)
+class OSPInstance:
+    """A complete overlapping-aware stencil planning instance.
+
+    Parameters
+    ----------
+    name:
+        Instance identifier (e.g. ``"1M-3"``).
+    characters:
+        Character candidates ``c_1 ... c_n``.
+    regions:
+        Wafer regions ``r_1 ... r_P`` (one per CP).  A conventional single-CP
+        EBL system is simply an instance with one region.
+    stencil:
+        Stencil outline.
+    kind:
+        ``"1D"`` for row-structured instances, ``"2D"`` for general ones.
+    """
+
+    name: str
+    characters: tuple[Character, ...]
+    regions: tuple[Region, ...]
+    stencil: StencilSpec
+    kind: str = "1D"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("1D", "2D"):
+            raise ValidationError(f"instance kind must be '1D' or '2D', got {self.kind!r}")
+        if not self.characters:
+            raise ValidationError(f"instance {self.name!r} has no characters")
+        if not self.regions:
+            raise ValidationError(f"instance {self.name!r} has no regions")
+        names = [c.name for c in self.characters]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"instance {self.name!r} has duplicate character names")
+        indices = sorted(r.index for r in self.regions)
+        if indices != list(range(len(self.regions))):
+            raise ValidationError(
+                f"instance {self.name!r}: region indices must be 0..P-1, got {indices}"
+            )
+        n_regions = len(self.regions)
+        for ch in self.characters:
+            if len(ch.repeats) != n_regions:
+                raise ValidationError(
+                    f"instance {self.name!r}: character {ch.name!r} has "
+                    f"{len(ch.repeats)} repeat entries but there are {n_regions} regions"
+                )
+        object.__setattr__(self, "characters", tuple(self.characters))
+        object.__setattr__(self, "regions", tuple(self.regions))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_characters(self) -> int:
+        """Number of character candidates ``n``."""
+        return len(self.characters)
+
+    @property
+    def num_regions(self) -> int:
+        """Number of CP regions ``P``."""
+        return len(self.regions)
+
+    def character_index(self, name: str) -> int:
+        """Index of the character named ``name`` (raises ``KeyError`` if absent)."""
+        return self._name_to_index()[name]
+
+    def character(self, name: str) -> Character:
+        """The character named ``name``."""
+        return self.characters[self.character_index(name)]
+
+    def _name_to_index(self) -> dict[str, int]:
+        cache = self.metadata.get("_name_index")
+        if cache is None:
+            cache = {c.name: i for i, c in enumerate(self.characters)}
+            self.metadata["_name_index"] = cache  # type: ignore[index]
+        return cache  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Writing-time constants (Section 2.1)
+    # ------------------------------------------------------------------ #
+    def vsb_time(self, region_index: int) -> float:
+        """``T_VSB(c)``: writing time of a region when only VSB is used."""
+        return float(
+            sum(ch.vsb_time_in(region_index) for ch in self.characters)
+        )
+
+    def vsb_times(self) -> list[float]:
+        """``T_VSB`` for every region, in region-index order."""
+        return [self.vsb_time(c) for c in range(self.num_regions)]
+
+    def reduction(self, char_index: int, region_index: int) -> float:
+        """``R_ic``: writing-time reduction of character ``i`` in region ``c``."""
+        return self.characters[char_index].reduction_in(region_index)
+
+    def reduction_matrix(self) -> list[list[float]]:
+        """Matrix ``R[i][c]`` of writing-time reductions."""
+        return [
+            [ch.reduction_in(c) for c in range(self.num_regions)]
+            for ch in self.characters
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Derived 1D quantities
+    # ------------------------------------------------------------------ #
+    def uniform_row_height(self) -> float:
+        """Common character height for 1D instances (max over characters)."""
+        return max(ch.height for ch in self.characters)
+
+    def row_count(self) -> int:
+        """Number of stencil rows available for 1D planning."""
+        return self.stencil.row_count_for(self.uniform_row_height())
+
+    def subset(self, names: Iterable[str], name: str | None = None) -> "OSPInstance":
+        """Restrict the instance to the given character names (keeps order)."""
+        wanted = set(names)
+        chars = tuple(c for c in self.characters if c.name in wanted)
+        return OSPInstance(
+            name=name or f"{self.name}-subset",
+            characters=chars,
+            regions=self.regions,
+            stencil=self.stencil,
+            kind=self.kind,
+            metadata={k: v for k, v in self.metadata.items() if not k.startswith("_")},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "stencil": self.stencil.to_dict(),
+            "regions": [r.to_dict() for r in self.regions],
+            "characters": [c.to_dict() for c in self.characters],
+            "metadata": {
+                k: v for k, v in self.metadata.items() if not k.startswith("_")
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OSPInstance":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "1D"),
+            stencil=StencilSpec.from_dict(data["stencil"]),
+            regions=tuple(Region.from_dict(r) for r in data["regions"]),
+            characters=tuple(Character.from_dict(c) for c in data["characters"]),
+            metadata=data.get("metadata", {}),
+        )
+
+    @classmethod
+    def single_region(
+        cls,
+        name: str,
+        characters: Sequence[Character],
+        stencil: StencilSpec,
+        kind: str = "1D",
+    ) -> "OSPInstance":
+        """Build a conventional (single-CP) EBL instance.
+
+        Characters whose ``repeats`` vector is empty get a single entry equal
+        to 1; characters with longer vectors are rejected.
+        """
+        fixed = []
+        for ch in characters:
+            if len(ch.repeats) == 0:
+                fixed.append(ch.with_repeats((1.0,)))
+            elif len(ch.repeats) == 1:
+                fixed.append(ch)
+            else:
+                raise ValidationError(
+                    f"character {ch.name!r} has {len(ch.repeats)} regions; expected <= 1"
+                )
+        return cls(
+            name=name,
+            characters=tuple(fixed),
+            regions=(Region("w1", 0),),
+            stencil=stencil,
+            kind=kind,
+        )

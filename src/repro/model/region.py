@@ -1,0 +1,45 @@
+"""Wafer regions of a multi-column-cell (MCC) system.
+
+In an MCC system with ``P`` character projections the wafer is divided into
+``P`` regions; each region is written by its own CP but all CPs share a
+single stencil design.  The system writing time is the maximum writing time
+over regions (Eqn. 1 of the paper), which is what E-BLOW minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ValidationError
+
+__all__ = ["Region"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One wafer region written by one character projection.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"w1"``.
+    index:
+        Position of the region in every character's ``repeats`` vector.
+    """
+
+    name: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("region name must be non-empty")
+        if self.index < 0:
+            raise ValidationError(f"region {self.name!r}: index must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "index": self.index}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Region":
+        return cls(name=data["name"], index=data["index"])

@@ -1,0 +1,72 @@
+"""Stencil geometry specification.
+
+The stencil is the physical aperture plate of a character projection.  Its
+area is the scarce resource of the OSP problem: characters placed on the
+stencil print in one shot, everything else falls back to VSB.
+
+For 1DOSP the stencil is organised as ``rows`` horizontal rows of equal
+height; characters (standard cells) are placed side by side within a row and
+may share horizontal blanks.  For 2DOSP the stencil is a free rectangle of
+``width`` x ``height``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ValidationError
+
+__all__ = ["StencilSpec"]
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """Outline of the stencil.
+
+    Parameters
+    ----------
+    width, height:
+        Stencil dimensions (same unit as character dimensions, e.g. um).
+    rows:
+        Number of rows for 1DOSP planning.  ``0`` means "derive from the
+        character height": planners call :meth:`row_count_for` with a row
+        height to obtain the usable number of rows.
+    """
+
+    width: float
+    height: float
+    rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValidationError(
+                f"stencil dimensions must be positive (got {self.width} x {self.height})"
+            )
+        if self.rows < 0:
+            raise ValidationError("stencil row count must be >= 0")
+
+    def row_count_for(self, row_height: float) -> int:
+        """Number of rows that fit if each row is ``row_height`` tall.
+
+        If an explicit ``rows`` value was given it takes precedence.
+        """
+        if self.rows:
+            return self.rows
+        if row_height <= 0:
+            raise ValidationError("row_height must be positive")
+        return int(self.height // row_height)
+
+    @property
+    def area(self) -> float:
+        """Total stencil area."""
+        return self.width * self.height
+
+    def to_dict(self) -> dict:
+        return {"width": self.width, "height": self.height, "rows": self.rows}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StencilSpec":
+        return cls(
+            width=data["width"], height=data["height"], rows=data.get("rows", 0)
+        )

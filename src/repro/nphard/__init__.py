@@ -1,0 +1,25 @@
+"""NP-hardness constructions of Section 2.2 and the Appendix."""
+
+from repro.nphard.bss import BSSInstance, is_bounded, solve_subset_sum
+from repro.nphard.bss_to_osp import OSPReduction, bss_to_osp, minimum_packing_length
+from repro.nphard.sat_to_bss import (
+    Clause,
+    SatInstance,
+    decode_assignment,
+    evaluate_sat,
+    sat_to_bss,
+)
+
+__all__ = [
+    "BSSInstance",
+    "is_bounded",
+    "solve_subset_sum",
+    "Clause",
+    "SatInstance",
+    "sat_to_bss",
+    "decode_assignment",
+    "evaluate_sat",
+    "OSPReduction",
+    "bss_to_osp",
+    "minimum_packing_length",
+]

@@ -1,0 +1,117 @@
+"""Bounded Subset Sum (BSS) — the intermediate problem of the NP-hardness proof.
+
+Problem 2 of the paper: given numbers ``x_1 ... x_n`` with
+``2 * x_i > max_j x_j`` for every ``i``, decide whether some subset sums to
+``s``.  The library implements
+
+* :func:`is_bounded` — the boundedness condition,
+* :func:`solve_subset_sum` — an exact pseudo-polynomial dynamic program that
+  returns a witness subset (used to verify the reductions in tests and
+  examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["BSSInstance", "is_bounded", "solve_subset_sum"]
+
+
+@dataclass(frozen=True)
+class BSSInstance:
+    """A Bounded Subset Sum instance."""
+
+    numbers: tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        if any(x <= 0 for x in self.numbers):
+            raise ValidationError("BSS numbers must be positive integers")
+        if self.target < 0:
+            raise ValidationError("BSS target must be non-negative")
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the instance satisfies the 2*x_i > max constraint."""
+        return is_bounded(self.numbers)
+
+
+def is_bounded(numbers: Sequence[int]) -> bool:
+    """Check the BSS boundedness condition ``2 * x_i > max(x)`` for all i."""
+    if not numbers:
+        return True
+    largest = max(numbers)
+    return all(2 * x > largest for x in numbers)
+
+
+def solve_subset_sum(numbers: Sequence[int], target: int) -> list[int] | None:
+    """Exact subset-sum: return indices of a subset summing to ``target``.
+
+    Two exact strategies are used depending on the instance shape:
+
+    * a classic O(n * target) dynamic program when the target is small, and
+    * meet-in-the-middle (O(2^(n/2)) sums) when the target is huge — which is
+      exactly the situation the 3SAT→BSS reduction produces, where the
+      numbers have many decimal digits but there are only a few of them.
+
+    Returns ``None`` when no subset exists.  Intended for the small instances
+    of the NP-hardness constructions, not as a production solver.
+    """
+    if any(x <= 0 for x in numbers):
+        raise ValidationError("subset-sum numbers must be positive")
+    if target < 0:
+        return None
+    if target == 0:
+        return []
+    if target <= 2_000_000:
+        return _subset_sum_dp(list(numbers), target)
+    return _subset_sum_meet_in_the_middle(list(numbers), target)
+
+
+def _subset_sum_dp(numbers: list[int], target: int) -> list[int] | None:
+    """Pseudo-polynomial DP; ``reachable[t]`` stores the last index used."""
+    reachable: list[int | None] = [None] * (target + 1)
+    reachable[0] = -1
+    for idx, x in enumerate(numbers):
+        # Iterate downwards so each number is used at most once.
+        for t in range(target, x - 1, -1):
+            if reachable[t] is None and reachable[t - x] is not None and reachable[t - x] != idx:
+                reachable[t] = idx
+    if reachable[target] is None:
+        return None
+    subset = []
+    t = target
+    while t > 0:
+        idx = reachable[t]
+        assert idx is not None and idx >= 0
+        subset.append(idx)
+        t -= numbers[idx]
+    return sorted(subset)
+
+
+def _subset_sum_meet_in_the_middle(numbers: list[int], target: int) -> list[int] | None:
+    """Split the numbers in two halves and match partial sums."""
+    half = len(numbers) // 2
+    left, right = numbers[:half], numbers[half:]
+
+    def all_sums(values: list[int], offset: int) -> dict[int, list[int]]:
+        sums: dict[int, list[int]] = {0: []}
+        for position, value in enumerate(values):
+            additions = {}
+            for total, subset in sums.items():
+                candidate = total + value
+                if candidate <= target and candidate not in sums and candidate not in additions:
+                    additions[candidate] = subset + [offset + position]
+            sums.update(additions)
+        return sums
+
+    left_sums = all_sums(left, 0)
+    right_sums = all_sums(right, half)
+    for total, subset in left_sums.items():
+        complement = right_sums.get(target - total)
+        if complement is not None:
+            return sorted(subset + complement)
+    return None

@@ -1,0 +1,99 @@
+"""Bounded Subset Sum → 1DOSP reduction (Lemma 2 / Fig. 3 of the paper).
+
+Given a BSS instance with numbers ``x_1 ... x_n`` and target ``s``, the
+reduction builds a single-row 1DOSP instance with stencil length ``M + s``
+(``M = max x_i``):
+
+* one character ``c_i`` per number, of width ``M`` with symmetric blanks
+  ``M - x_i`` and VSB writing time ``x_i``,
+* one anchor character ``c_0`` of width ``M`` with blanks ``M - min x_i``
+  and VSB writing time ``sum x_i`` (so any sensible plan selects it),
+* CP writing times of 0 and a single region with one occurrence each.
+
+By Lemma 1, selecting ``c_0`` plus the characters of a subset ``S'`` yields
+a minimum packing length of ``M + sum(S')``; the packing fits the stencil
+with total writing time below ``sum x_i`` iff ``S'`` sums to exactly ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.model import Character, OSPInstance, Region, StencilSpec
+from repro.nphard.bss import BSSInstance
+
+__all__ = ["OSPReduction", "bss_to_osp", "minimum_packing_length"]
+
+
+@dataclass(frozen=True)
+class OSPReduction:
+    """The constructed 1DOSP instance plus decoding information."""
+
+    instance: OSPInstance
+    anchor_name: str
+    number_of: dict[str, int]  # character name -> index into the BSS numbers
+
+
+def minimum_packing_length(widths_and_blanks: list[tuple[float, float]]) -> float:
+    """Minimum single-row packing length under symmetric blanks (Lemma 1).
+
+    ``widths_and_blanks`` holds ``(width, symmetric_blank)`` pairs; the
+    result is ``sum(w_i - s_i) + max(s_i)`` (0 for an empty set).
+    """
+    if not widths_and_blanks:
+        return 0.0
+    return sum(w - s for w, s in widths_and_blanks) + max(s for _, s in widths_and_blanks)
+
+
+def bss_to_osp(bss: BSSInstance) -> OSPReduction:
+    """Construct the 1DOSP instance of Lemma 2 for a BSS instance."""
+    if not bss.numbers:
+        raise ValidationError("the BSS instance must contain at least one number")
+    if not bss.bounded:
+        raise ValidationError(
+            "the reduction requires the bounded condition 2*x_i > max(x)"
+        )
+    largest = max(bss.numbers)
+    smallest = min(bss.numbers)
+    total = sum(bss.numbers)
+
+    characters = []
+    number_of: dict[str, int] = {}
+    anchor = Character(
+        name="c0",
+        width=float(largest),
+        height=1.0,
+        blank_left=float(largest - smallest),
+        blank_right=float(largest - smallest),
+        vsb_shots=float(total),
+        cp_shots=0.0,
+        repeats=(1.0,),
+    )
+    characters.append(anchor)
+    for i, x in enumerate(bss.numbers):
+        name = f"c{i + 1}"
+        number_of[name] = i
+        characters.append(
+            Character(
+                name=name,
+                width=float(largest),
+                height=1.0,
+                blank_left=float(largest - x),
+                blank_right=float(largest - x),
+                vsb_shots=float(x),
+                cp_shots=0.0,
+                repeats=(1.0,),
+            )
+        )
+
+    stencil = StencilSpec(width=float(largest + bss.target), height=1.0, rows=1)
+    instance = OSPInstance(
+        name=f"bss-to-osp-{len(bss.numbers)}",
+        characters=tuple(characters),
+        regions=(Region("w1", 0),),
+        stencil=stencil,
+        kind="1D",
+        metadata={"reduction": "bss-to-1dosp", "target": bss.target},
+    )
+    return OSPReduction(instance=instance, anchor_name="c0", number_of=number_of)

@@ -1,0 +1,137 @@
+"""3SAT → Bounded Subset Sum reduction (Appendix / Theorem 1 of the paper).
+
+For a 3SAT formula with ``n`` variables and ``m`` clauses the reduction
+builds ``2n + 3m`` integers of ``n + 2m + 1`` decimal digits:
+
+* two numbers ``t_i`` / ``f_i`` per variable (true / false assignment),
+* three numbers ``c_j1, c_j2, c_j3`` per clause (slack that tops the clause
+  digit up to 4),
+* a target whose variable digits are 1, clause digits are 4, and slack
+  digits are 1, plus a leading digit equal to ``n + m``.
+
+The digit construction guarantees no carries, so the subset-sum equalities
+decode directly into a satisfying assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.nphard.bss import BSSInstance
+
+__all__ = ["Clause", "SatInstance", "sat_to_bss", "decode_assignment", "evaluate_sat"]
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A 3SAT clause: up to three literals, each a (variable, polarity) pair."""
+
+    literals: tuple[tuple[int, bool], ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.literals) <= 3:
+            raise ValidationError("a clause must contain between 1 and 3 literals")
+        variables = [v for v, _ in self.literals]
+        if len(set(variables)) != len(variables):
+            raise ValidationError(
+                "a clause must not repeat a variable (tautologies are excluded)"
+            )
+
+
+@dataclass(frozen=True)
+class SatInstance:
+    """A 3SAT instance over variables ``0 .. num_variables - 1``."""
+
+    num_variables: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for variable, _ in clause.literals:
+                if not 0 <= variable < self.num_variables:
+                    raise ValidationError(f"clause references unknown variable {variable}")
+
+
+def evaluate_sat(instance: SatInstance, assignment: Sequence[bool]) -> bool:
+    """Whether ``assignment`` satisfies every clause."""
+    if len(assignment) != instance.num_variables:
+        raise ValidationError("assignment length must equal the number of variables")
+    for clause in instance.clauses:
+        if not any(assignment[v] == polarity for v, polarity in clause.literals):
+            return False
+    return True
+
+
+def sat_to_bss(instance: SatInstance) -> tuple[BSSInstance, dict]:
+    """Build the BSS instance for a 3SAT formula.
+
+    Returns ``(bss, index)`` where ``index`` maps each generated number back
+    to its meaning: ``index["t"][i]`` / ``index["f"][i]`` are positions of the
+    variable numbers, ``index["c"][(j, k)]`` of the clause-slack numbers.
+    """
+    n = instance.num_variables
+    m = len(instance.clauses)
+    digits = n + 2 * m + 1
+
+    def make_number(variable_digit: int | None, clause_digits: dict[int, int], slack_digit: int | None) -> int:
+        # Digit layout (most significant first):
+        #   [leading 1][n variable digits][m clause digits][m slack digits]
+        value = 10 ** (digits - 1)
+        if variable_digit is not None:
+            value += 10 ** (digits - 2 - variable_digit)
+        for clause_index, digit in clause_digits.items():
+            value += digit * 10 ** (m - 1 - clause_index + m)
+        if slack_digit is not None:
+            value += 10 ** (m - 1 - slack_digit)
+        return value
+
+    numbers: list[int] = []
+    index = {"t": {}, "f": {}, "c": {}}
+    for i in range(n):
+        positive_clauses = {
+            j: 1
+            for j, clause in enumerate(instance.clauses)
+            if (i, True) in clause.literals
+        }
+        negative_clauses = {
+            j: 1
+            for j, clause in enumerate(instance.clauses)
+            if (i, False) in clause.literals
+        }
+        index["t"][i] = len(numbers)
+        numbers.append(make_number(i, positive_clauses, None))
+        index["f"][i] = len(numbers)
+        numbers.append(make_number(i, negative_clauses, None))
+    for j in range(m):
+        for k in (1, 2, 3):
+            index["c"][(j, k)] = len(numbers)
+            numbers.append(make_number(None, {j: k}, j))
+
+    target = (n + m) * 10 ** (digits - 1)
+    for i in range(n):
+        target += 10 ** (digits - 2 - i)
+    for j in range(m):
+        target += 4 * 10 ** (m - 1 - j + m)
+        target += 10 ** (m - 1 - j)
+
+    return BSSInstance(numbers=tuple(numbers), target=target), index
+
+
+def decode_assignment(
+    instance: SatInstance, index: dict, subset: Sequence[int]
+) -> list[bool]:
+    """Decode a BSS witness subset back into a 3SAT assignment."""
+    chosen = set(subset)
+    assignment = []
+    for i in range(instance.num_variables):
+        if index["t"][i] in chosen:
+            assignment.append(True)
+        elif index["f"][i] in chosen:
+            assignment.append(False)
+        else:
+            raise ValidationError(
+                f"subset selects neither t_{i} nor f_{i}; it is not a valid witness"
+            )
+    return assignment

@@ -1,0 +1,37 @@
+"""Synthetic workload generation (benchmark-instance substrate)."""
+
+from repro.workloads.generator import (
+    generate_1d_instance,
+    generate_2d_instance,
+    generate_tiny_1d_instance,
+    generate_tiny_2d_instance,
+)
+from repro.workloads.suites import (
+    ALL_CASES,
+    SUITE_1D,
+    SUITE_1M,
+    SUITE_1T,
+    SUITE_2D,
+    SUITE_2M,
+    SUITE_2T,
+    SuiteCase,
+    build_instance,
+    default_scale,
+)
+
+__all__ = [
+    "generate_1d_instance",
+    "generate_2d_instance",
+    "generate_tiny_1d_instance",
+    "generate_tiny_2d_instance",
+    "SuiteCase",
+    "SUITE_1D",
+    "SUITE_1M",
+    "SUITE_2D",
+    "SUITE_2M",
+    "SUITE_1T",
+    "SUITE_2T",
+    "ALL_CASES",
+    "build_instance",
+    "default_scale",
+]

@@ -1,0 +1,207 @@
+"""Cell extraction: from a cell library + placement counts to character candidates.
+
+The paper assumes that "cell extraction [29] has been resolved first", i.e.
+that somebody already turned the design into a list of character candidates
+with per-region repeat counts ``t_ic`` and VSB shot counts ``n_i``.  This
+module provides that missing substrate so the whole tool chain can start from
+something resembling a physical design:
+
+* :class:`CellMaster` — a standard cell (or via cluster) in the library, with
+  its geometry and the number of VSB rectangles needed to print it,
+* :class:`CellUsage` — how often each master is instantiated in each wafer
+  region,
+* :func:`extract_characters` — turns a library + usage table into an
+  :class:`~repro.model.OSPInstance`,
+* :func:`generate_cell_library` / :func:`generate_usage` — seeded synthetic
+  generators for both.
+
+The split mirrors reality: the library is a property of the PDK/design kit,
+the usage table of the particular chip(s) being written, and the OSP planner
+only ever sees the merged candidate list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model import Character, OSPInstance, Region, StencilSpec
+
+__all__ = [
+    "CellMaster",
+    "CellUsage",
+    "extract_characters",
+    "generate_cell_library",
+    "generate_usage",
+    "instance_from_library",
+]
+
+
+@dataclass(frozen=True)
+class CellMaster:
+    """A library cell that may become a CP character.
+
+    ``vsb_rectangles`` is the number of rectangles the cell fractures into
+    when written with VSB — the paper's ``n_i``.
+    """
+
+    name: str
+    width: float
+    height: float
+    blank_left: float
+    blank_right: float
+    blank_top: float
+    blank_bottom: float
+    vsb_rectangles: int
+
+    def __post_init__(self) -> None:
+        if self.vsb_rectangles < 1:
+            raise ValidationError(
+                f"cell {self.name!r}: vsb_rectangles must be >= 1"
+            )
+
+    def to_character(self, repeats: Sequence[float]) -> Character:
+        """Build the OSP character candidate for this master."""
+        return Character(
+            name=self.name,
+            width=self.width,
+            height=self.height,
+            blank_left=self.blank_left,
+            blank_right=self.blank_right,
+            blank_top=self.blank_top,
+            blank_bottom=self.blank_bottom,
+            vsb_shots=float(self.vsb_rectangles),
+            cp_shots=1.0,
+            repeats=tuple(float(r) for r in repeats),
+        )
+
+
+@dataclass(frozen=True)
+class CellUsage:
+    """Instantiation counts of one cell master per wafer region."""
+
+    cell: str
+    counts: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(c < 0 for c in self.counts):
+            raise ValidationError(f"usage of {self.cell!r}: counts must be >= 0")
+
+
+def extract_characters(
+    library: Sequence[CellMaster],
+    usage: Sequence[CellUsage],
+    num_regions: int,
+) -> list[Character]:
+    """Merge a cell library with its usage table into character candidates.
+
+    Cells that never appear in any region are dropped (they could never
+    reduce the writing time).  Usage rows referring to unknown cells raise.
+    """
+    by_name = {master.name: master for master in library}
+    counts: dict[str, list[float]] = {name: [0.0] * num_regions for name in by_name}
+    for row in usage:
+        if row.cell not in by_name:
+            raise ValidationError(f"usage references unknown cell {row.cell!r}")
+        if len(row.counts) != num_regions:
+            raise ValidationError(
+                f"usage of {row.cell!r} has {len(row.counts)} regions, expected {num_regions}"
+            )
+        for region, value in enumerate(row.counts):
+            counts[row.cell][region] += value
+    characters = []
+    for name, master in by_name.items():
+        if sum(counts[name]) > 0:
+            characters.append(master.to_character(counts[name]))
+    return characters
+
+
+def generate_cell_library(
+    num_cells: int,
+    seed: int = 0,
+    standard_cell_height: float | None = 25.0,
+    width_range: tuple[float, float] = (30.0, 60.0),
+    blank_range: tuple[float, float] = (3.0, 12.0),
+    rectangle_range: tuple[int, int] = (4, 30),
+) -> list[CellMaster]:
+    """A seeded synthetic cell library.
+
+    With ``standard_cell_height`` set, every cell has that height and no
+    vertical blanks (the 1DOSP setting); pass ``None`` for free-form 2DOSP
+    cells.
+    """
+    if num_cells <= 0:
+        raise ValidationError("num_cells must be positive")
+    rng = np.random.default_rng(seed)
+    library = []
+    for i in range(num_cells):
+        width = float(rng.uniform(*width_range))
+        if standard_cell_height is not None:
+            height = float(standard_cell_height)
+            blank_top = blank_bottom = 0.0
+        else:
+            height = float(rng.uniform(*width_range))
+            blank_top = min(float(rng.uniform(*blank_range)), height / 2 - 0.5)
+            blank_bottom = min(float(rng.uniform(*blank_range)), height / 2 - 0.5)
+        library.append(
+            CellMaster(
+                name=f"cell{i}",
+                width=width,
+                height=height,
+                blank_left=min(float(rng.uniform(*blank_range)), width / 2 - 0.5),
+                blank_right=min(float(rng.uniform(*blank_range)), width / 2 - 0.5),
+                blank_top=blank_top,
+                blank_bottom=blank_bottom,
+                vsb_rectangles=int(rng.integers(rectangle_range[0], rectangle_range[1] + 1)),
+            )
+        )
+    return library
+
+
+def generate_usage(
+    library: Sequence[CellMaster],
+    num_regions: int,
+    seed: int = 0,
+    mean_instances: float = 40.0,
+    zero_fraction: float = 0.05,
+) -> list[CellUsage]:
+    """A seeded synthetic usage table with skewed (lognormal) popularity."""
+    if num_regions <= 0:
+        raise ValidationError("num_regions must be positive")
+    rng = np.random.default_rng(seed)
+    usage = []
+    for master in library:
+        if rng.random() < zero_fraction:
+            counts = tuple(0.0 for _ in range(num_regions))
+        else:
+            popularity = rng.lognormal(mean=np.log(mean_instances), sigma=0.9)
+            weights = rng.dirichlet(np.ones(num_regions) * 2.0)
+            counts = tuple(float(round(popularity * w * num_regions)) for w in weights)
+        usage.append(CellUsage(cell=master.name, counts=counts))
+    return usage
+
+
+def instance_from_library(
+    name: str,
+    library: Sequence[CellMaster],
+    usage: Sequence[CellUsage],
+    stencil: StencilSpec,
+    num_regions: int,
+    kind: str = "1D",
+    metadata: Mapping[str, object] | None = None,
+) -> OSPInstance:
+    """Full cell-extraction pipeline: library + usage -> OSP instance."""
+    characters = extract_characters(library, usage, num_regions)
+    if not characters:
+        raise ValidationError("cell extraction produced no character candidates")
+    return OSPInstance(
+        name=name,
+        characters=tuple(characters),
+        regions=tuple(Region(f"w{c + 1}", c) for c in range(num_regions)),
+        stencil=stencil,
+        kind=kind,
+        metadata=dict(metadata or {"source": "cell-extraction"}),
+    )

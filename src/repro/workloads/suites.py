@@ -1,0 +1,215 @@
+"""Named benchmark suites mirroring the paper's Section 5 test cases.
+
+The suites are:
+
+* ``1D-1 .. 1D-4``  — 1DOSP, single CP, 1 000 candidates, 1000x1000 stencil,
+* ``1M-1 .. 1M-4``  — 1DOSP, 10 CPs, 1 000 candidates, 1000x1000 stencil,
+* ``1M-5 .. 1M-8``  — 1DOSP, 10 CPs, 4 000 candidates, 2000x2000 stencil,
+* ``2D-1 .. 2D-4``  — 2DOSP, single CP, 1 000 candidates, 1000x1000 stencil,
+* ``2M-1 .. 2M-4``  — 2DOSP, MCC, 1 000 candidates, 1000x1000 stencil,
+* ``2M-5 .. 2M-8``  — 2DOSP, 10 CPs, 4 000 candidates, 2000x2000 stencil,
+* ``1T-1 .. 1T-5`` / ``2T-1 .. 2T-4`` — tiny exact-ILP comparison cases.
+
+Within a family, the case index increases the average character width, which
+(as in the paper) decreases how many characters fit on the stencil.
+
+Because the full 1000/4000-character cases take a while in pure Python, the
+``scale`` argument (or the ``REPRO_PAPER_SCALE`` environment variable used by
+the benchmark harness) shrinks the candidate count and the stencil area
+proportionally while keeping the relative algorithm behaviour intact.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.model import OSPInstance
+from repro.workloads.generator import (
+    generate_1d_instance,
+    generate_2d_instance,
+    generate_tiny_1d_instance,
+    generate_tiny_2d_instance,
+)
+
+__all__ = [
+    "SuiteCase",
+    "SUITE_1D",
+    "SUITE_1M",
+    "SUITE_2D",
+    "SUITE_2M",
+    "SUITE_1T",
+    "SUITE_2T",
+    "ALL_CASES",
+    "build_instance",
+    "default_scale",
+]
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    """Parameters of one named benchmark case."""
+
+    name: str
+    kind: str  # "1D", "2D", "1T", "2T"
+    num_characters: int
+    num_regions: int
+    stencil: float  # square stencil edge (or row length for tiny 1D cases)
+    width_lo: float
+    width_hi: float
+    seed: int
+    # The stencil is deliberately a bit smaller than the total character area
+    # so the planners have to *choose*; larger case indices get tighter
+    # stencils and wider characters, which is how the paper's suites make the
+    # on-stencil character count decrease from case 1 to case 4.
+    stencil_factor: float = 1.0
+
+
+def _case_1d(name: str, chars: int, regions: int, stencil: float, step: int, seed: int) -> SuiteCase:
+    # Case index widens characters: fewer characters fit, as in Table 3.
+    return SuiteCase(
+        name=name,
+        kind="1D",
+        num_characters=chars,
+        num_regions=regions,
+        stencil=stencil,
+        width_lo=28.0 + 6.0 * step,
+        width_hi=55.0 + 14.0 * step,
+        seed=seed,
+        stencil_factor=0.93 - 0.04 * step,
+    )
+
+
+def _case_2d(name: str, chars: int, regions: int, stencil: float, step: int, seed: int) -> SuiteCase:
+    return SuiteCase(
+        name=name,
+        kind="2D",
+        num_characters=chars,
+        num_regions=regions,
+        stencil=stencil,
+        width_lo=24.0 + 5.0 * step,
+        width_hi=60.0 + 12.0 * step,
+        seed=seed,
+        stencil_factor=0.93 - 0.04 * step,
+    )
+
+
+SUITE_1D = {
+    f"1D-{i + 1}": _case_1d(f"1D-{i + 1}", 1000, 1, 1000.0, i, seed=100 + i)
+    for i in range(4)
+}
+
+SUITE_1M = {}
+for i in range(4):
+    SUITE_1M[f"1M-{i + 1}"] = _case_1d(f"1M-{i + 1}", 1000, 10, 1000.0, i, seed=200 + i)
+for i in range(4):
+    SUITE_1M[f"1M-{i + 5}"] = _case_1d(f"1M-{i + 5}", 4000, 10, 2000.0, i, seed=210 + i)
+
+SUITE_2D = {
+    f"2D-{i + 1}": _case_2d(f"2D-{i + 1}", 1000, 1, 1000.0, i, seed=300 + i)
+    for i in range(4)
+}
+
+SUITE_2M = {}
+for i in range(4):
+    SUITE_2M[f"2M-{i + 1}"] = _case_2d(f"2M-{i + 1}", 1000, 1, 1000.0, i, seed=400 + i)
+for i in range(4):
+    SUITE_2M[f"2M-{i + 5}"] = _case_2d(f"2M-{i + 5}", 4000, 10, 2000.0, i, seed=410 + i)
+
+SUITE_1T = {
+    f"1T-{i + 1}": SuiteCase(
+        name=f"1T-{i + 1}",
+        kind="1T",
+        num_characters=n,
+        num_regions=1,
+        stencil=200.0,
+        width_lo=40.0,
+        width_hi=40.0,
+        seed=500 + i,
+    )
+    for i, n in enumerate((8, 10, 11, 12, 14))
+}
+
+SUITE_2T = {
+    f"2T-{i + 1}": SuiteCase(
+        name=f"2T-{i + 1}",
+        kind="2T",
+        num_characters=n,
+        num_regions=1,
+        stencil=120.0,
+        width_lo=40.0,
+        width_hi=40.0,
+        seed=600 + i,
+    )
+    for i, n in enumerate((6, 8, 10, 12))
+}
+
+ALL_CASES = {**SUITE_1D, **SUITE_1M, **SUITE_2D, **SUITE_2M, **SUITE_1T, **SUITE_2T}
+
+
+def default_scale() -> float:
+    """Scale factor used by the benchmark harness.
+
+    Returns 1.0 (paper scale) when ``REPRO_PAPER_SCALE`` is set to a truthy
+    value, otherwise a reduced scale so the whole harness finishes quickly.
+    """
+    if os.environ.get("REPRO_PAPER_SCALE", "").strip() in ("1", "true", "yes"):
+        return 1.0
+    value = os.environ.get("REPRO_SCALE", "").strip()
+    if value:
+        return float(value)
+    return 0.12
+
+
+def build_instance(case_name: str, scale: float = 1.0) -> OSPInstance:
+    """Build the named benchmark case, optionally scaled down.
+
+    ``scale`` multiplies the candidate count; the stencil edge is multiplied
+    by ``sqrt(scale)`` so the fraction of characters that fit stays roughly
+    constant.  Tiny (1T/2T) cases ignore ``scale``.
+    """
+    case = ALL_CASES.get(case_name)
+    if case is None:
+        raise ValidationError(
+            f"unknown benchmark case {case_name!r}; known cases: {sorted(ALL_CASES)}"
+        )
+    if case.kind == "1T":
+        return generate_tiny_1d_instance(
+            num_characters=case.num_characters,
+            seed=case.seed,
+            row_length=case.stencil,
+            name=case.name,
+        )
+    if case.kind == "2T":
+        return generate_tiny_2d_instance(
+            num_characters=case.num_characters,
+            seed=case.seed,
+            stencil_size=case.stencil,
+            name=case.name,
+        )
+    if scale <= 0:
+        raise ValidationError("scale must be positive")
+    num_characters = max(20, int(round(case.num_characters * scale)))
+    stencil_edge = case.stencil * math.sqrt(scale) * case.stencil_factor
+    if case.kind == "1D":
+        return generate_1d_instance(
+            num_characters=num_characters,
+            num_regions=case.num_regions,
+            seed=case.seed,
+            stencil_width=stencil_edge,
+            stencil_height=stencil_edge,
+            width_range=(case.width_lo, case.width_hi),
+            name=case.name,
+        )
+    return generate_2d_instance(
+        num_characters=num_characters,
+        num_regions=case.num_regions,
+        seed=case.seed,
+        stencil_width=stencil_edge,
+        stencil_height=stencil_edge,
+        width_range=(case.width_lo, case.width_hi),
+        height_range=(case.width_lo, case.width_hi),
+        name=case.name,
+    )

@@ -1,0 +1,57 @@
+"""Unit tests for the 1D baseline planners."""
+
+import pytest
+
+from repro.baselines import Greedy1DPlanner, Heuristic1DPlanner, RowStructure1DPlanner
+from repro.core.onedim import EBlow1DPlanner
+from repro.errors import ValidationError
+from repro.model import evaluate_plan
+
+BASELINES = [Greedy1DPlanner, Heuristic1DPlanner, RowStructure1DPlanner]
+
+
+@pytest.mark.parametrize("planner_cls", BASELINES)
+class TestBaselineContracts:
+    def test_plan_is_legal(self, planner_cls, small_1d_instance):
+        plan = planner_cls().plan(small_1d_instance)
+        plan.validate()
+        report = evaluate_plan(plan)
+        assert report.num_selected > 0
+        assert report.total < report.vsb_only_total
+
+    def test_stats_populated(self, planner_cls, small_1d_instance):
+        plan = planner_cls().plan(small_1d_instance)
+        assert "algorithm" in plan.stats
+        assert plan.stats["runtime_seconds"] >= 0
+        assert plan.stats["num_selected"] == plan.num_selected
+
+    def test_rejects_2d_instances(self, planner_cls, small_2d_instance):
+        with pytest.raises(ValidationError):
+            planner_cls().plan(small_2d_instance)
+
+    def test_deterministic(self, planner_cls, small_mcc_instance):
+        a = planner_cls().plan(small_mcc_instance)
+        b = planner_cls().plan(small_mcc_instance)
+        assert a.stats["writing_time"] == b.stats["writing_time"]
+
+
+class TestRelativeQuality:
+    def test_eblow_not_worse_than_greedy_on_mcc(self, small_mcc_instance):
+        """The paper's headline: E-BLOW beats the greedy baseline on MCC cases."""
+        greedy = Greedy1DPlanner().plan(small_mcc_instance)
+        eblow = EBlow1DPlanner().plan(small_mcc_instance)
+        assert eblow.stats["writing_time"] <= greedy.stats["writing_time"] * 1.02
+
+    def test_greedy_is_fastest(self, small_mcc_instance):
+        greedy = Greedy1DPlanner().plan(small_mcc_instance)
+        eblow = EBlow1DPlanner().plan(small_mcc_instance)
+        assert greedy.stats["runtime_seconds"] <= eblow.stats["runtime_seconds"]
+
+    def test_density_flag_changes_greedy_order(self, small_mcc_instance):
+        from repro.baselines import Greedy1DConfig
+
+        by_density = Greedy1DPlanner(Greedy1DConfig(by_density=True)).plan(small_mcc_instance)
+        by_profit = Greedy1DPlanner(Greedy1DConfig(by_density=False)).plan(small_mcc_instance)
+        # Both must be legal; they normally differ in selection.
+        by_density.validate()
+        by_profit.validate()

@@ -1,0 +1,52 @@
+"""Unit tests for the 2D baseline planners."""
+
+import pytest
+
+from repro.baselines import Floorplan2DConfig, Floorplan2DPlanner, Greedy2DPlanner
+from repro.errors import ValidationError
+from repro.model import evaluate_plan
+
+
+class TestGreedy2D:
+    def test_plan_is_legal_and_useful(self, small_2d_instance):
+        plan = Greedy2DPlanner().plan(small_2d_instance)
+        plan.validate()
+        report = evaluate_plan(plan)
+        assert report.num_selected > 0
+        assert report.total < report.vsb_only_total
+
+    def test_rejects_1d_instance(self, small_1d_instance):
+        with pytest.raises(ValidationError):
+            Greedy2DPlanner().plan(small_1d_instance)
+
+    def test_deterministic(self, small_2d_instance):
+        a = Greedy2DPlanner().plan(small_2d_instance)
+        b = Greedy2DPlanner().plan(small_2d_instance)
+        assert a.stats["writing_time"] == b.stats["writing_time"]
+
+    def test_all_placements_inside_stencil(self, small_2d_instance):
+        plan = Greedy2DPlanner().plan(small_2d_instance)
+        stencil = small_2d_instance.stencil
+        for placement in plan.placements2d:
+            ch = small_2d_instance.character(placement.name)
+            assert placement.x + ch.width <= stencil.width + 1e-6
+            assert placement.y + ch.height <= stencil.height + 1e-6
+
+
+class TestFloorplan2D:
+    def test_plan_is_legal(self, small_2d_instance, fast_schedule):
+        planner = Floorplan2DPlanner(Floorplan2DConfig(schedule=fast_schedule))
+        plan = planner.plan(small_2d_instance)
+        plan.validate()
+        assert plan.stats["algorithm"] == "floorplan-2d"
+        assert plan.stats["num_selected"] > 0
+
+    def test_no_clustering_in_baseline(self, small_2d_instance, fast_schedule):
+        planner = Floorplan2DPlanner(Floorplan2DConfig(schedule=fast_schedule))
+        plan = planner.plan(small_2d_instance)
+        assert not plan.stats["use_clustering"]
+        assert not plan.stats["use_prefilter"]
+
+    def test_rejects_1d_instance(self, small_1d_instance):
+        with pytest.raises(ValidationError):
+            Floorplan2DPlanner().plan(small_1d_instance)

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+All fixtures build *small* instances so the whole suite runs in well under a
+minute; the paper-scale experiments live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan import AnnealingSchedule
+from repro.model import Character, OSPInstance, Region, StencilSpec
+from repro.workloads import generate_1d_instance, generate_2d_instance
+
+
+@pytest.fixture
+def small_1d_instance() -> OSPInstance:
+    """A 60-character single-region 1D instance with a tight stencil."""
+    return generate_1d_instance(
+        num_characters=60,
+        num_regions=1,
+        seed=7,
+        stencil_width=220.0,
+        stencil_height=220.0,
+        name="test-1d-small",
+    )
+
+
+@pytest.fixture
+def small_mcc_instance() -> OSPInstance:
+    """A 60-character, 4-region (MCC) 1D instance."""
+    return generate_1d_instance(
+        num_characters=60,
+        num_regions=4,
+        seed=11,
+        stencil_width=220.0,
+        stencil_height=220.0,
+        name="test-1d-mcc",
+    )
+
+
+@pytest.fixture
+def small_2d_instance() -> OSPInstance:
+    """A 30-character 2D instance (kept tiny: the packer is annealing-based)."""
+    return generate_2d_instance(
+        num_characters=30,
+        num_regions=3,
+        seed=13,
+        stencil_width=180.0,
+        stencil_height=180.0,
+        name="test-2d-small",
+    )
+
+
+@pytest.fixture
+def fast_schedule() -> AnnealingSchedule:
+    """A deliberately short annealing schedule for unit tests."""
+    return AnnealingSchedule(
+        initial_temperature=0.3,
+        final_temperature=0.02,
+        cooling_rate=0.8,
+        moves_per_temperature=30,
+    )
+
+
+@pytest.fixture
+def handmade_1d_instance() -> OSPInstance:
+    """A tiny hand-written 1D instance with known character properties."""
+    characters = (
+        Character(
+            name="A", width=40, height=10, blank_left=6, blank_right=4,
+            vsb_shots=10, repeats=(5.0, 1.0),
+        ),
+        Character(
+            name="B", width=30, height=10, blank_left=8, blank_right=8,
+            vsb_shots=20, repeats=(2.0, 6.0),
+        ),
+        Character(
+            name="C", width=50, height=10, blank_left=2, blank_right=10,
+            vsb_shots=5, repeats=(3.0, 3.0),
+        ),
+        Character(
+            name="D", width=35, height=10, blank_left=5, blank_right=5,
+            vsb_shots=15, repeats=(0.0, 4.0),
+        ),
+    )
+    return OSPInstance(
+        name="handmade-1d",
+        characters=characters,
+        regions=(Region("w1", 0), Region("w2", 1)),
+        stencil=StencilSpec(width=100.0, height=20.0, rows=2),
+        kind="1D",
+    )

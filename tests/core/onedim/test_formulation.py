@@ -1,0 +1,121 @@
+"""Unit tests for the 1D ILP formulations (3) and (4)."""
+
+import pytest
+
+from repro.core.onedim.formulation import build_full_ilp, build_simplified_formulation
+from repro.core.profits import compute_profits
+from repro.model import StencilPlan, system_writing_time
+from repro.solver import SolveStatus, solve_ilp, solve_lp
+from repro.workloads import generate_tiny_1d_instance
+
+
+class TestSimplifiedFormulation:
+    def test_variable_and_constraint_counts(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        profits = compute_profits(inst)
+        form = build_simplified_formulation(
+            inst,
+            profits,
+            characters=list(range(inst.num_characters)),
+            row_capacity=[100.0, 100.0],
+            row_min_blank=[0.0, 0.0],
+            relax=True,
+        )
+        # 2 B_j variables + one a_ij per (char, row) pair that fits.
+        assert len(form.blank_index) == 2
+        assert len(form.assign_index) == inst.num_characters * 2
+        assert form.program.num_variables == 2 + len(form.assign_index)
+
+    def test_lp_relaxation_upper_bounds_ilp(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        profits = compute_profits(inst)
+        kwargs = dict(
+            characters=list(range(inst.num_characters)),
+            row_capacity=[100.0, 100.0],
+            row_min_blank=[0.0, 0.0],
+        )
+        relaxed = build_simplified_formulation(inst, profits, relax=True, **kwargs)
+        exact = build_simplified_formulation(inst, profits, relax=False, **kwargs)
+        lp = solve_lp(relaxed.program)
+        ilp = solve_ilp(exact.program)
+        assert lp.status == SolveStatus.OPTIMAL
+        assert ilp.status == SolveStatus.OPTIMAL
+        assert lp.objective >= ilp.objective - 1e-6
+
+    def test_capacity_constraint_limits_selection(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        profits = compute_profits(inst)
+        form = build_simplified_formulation(
+            inst,
+            profits,
+            characters=list(range(inst.num_characters)),
+            row_capacity=[40.0],   # a single tight row
+            row_min_blank=[0.0],
+        )
+        solution = solve_ilp(form.program)
+        chosen = [
+            key for key, idx in form.assign_index.items() if solution.values[idx] > 0.5
+        ]
+        # The row can only hold one 30-45 wide character body.
+        assert len(chosen) <= 2
+        # And the packing must respect Lemma 1 capacity.
+        body = sum(
+            inst.characters[i].width - inst.characters[i].symmetric_hblank
+            for i, _ in chosen
+        )
+        max_blank = max(
+            (inst.characters[i].symmetric_hblank for i, _ in chosen), default=0.0
+        )
+        assert body + max_blank <= 40.0 + 1e-6
+
+    def test_characters_too_wide_get_no_variable(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        profits = compute_profits(inst)
+        form = build_simplified_formulation(
+            inst,
+            profits,
+            characters=list(range(inst.num_characters)),
+            row_capacity=[10.0],
+            row_min_blank=[0.0],
+        )
+        assert form.assign_index == {}
+
+
+class TestFullILP:
+    def test_solves_tiny_instance_and_plan_is_legal(self):
+        inst = generate_tiny_1d_instance(num_characters=5, seed=3)
+        program, index = build_full_ilp(inst)
+        solution = solve_ilp(program, time_limit=30)
+        assert solution.status.has_solution
+        selected = [
+            inst.characters[i].name
+            for (i, k), var in index["a"].items()
+            if solution.values[var] > 0.5
+        ]
+        # The ILP objective equals the writing time of the selection.
+        assert solution.values[index["T"]] == pytest.approx(
+            system_writing_time(inst, selected), abs=1e-4
+        )
+        # Decode positions into a plan and check geometric legality.
+        placements = []
+        from repro.model import RowPlacement
+
+        for (i, k), var in index["a"].items():
+            if solution.values[var] > 0.5:
+                placements.append(
+                    RowPlacement(
+                        name=inst.characters[i].name,
+                        row=k,
+                        x=solution.values[index["x"][i]],
+                    )
+                )
+        plan = StencilPlan(instance=inst, row_placements=placements)
+        plan.validate()
+
+    def test_variable_count_matches_paper_formula(self):
+        inst = generate_tiny_1d_instance(num_characters=6, seed=1)
+        program, index = build_full_ilp(inst, num_rows=1)
+        # a: n*m, p: n(n-1)/2, x: n, T: 1
+        assert len(index["a"]) == 6
+        assert len(index["p"]) == 15
+        assert program.num_variables == 1 + 6 + 6 + 15

@@ -1,0 +1,78 @@
+"""Integration tests for the full 1D E-BLOW planner."""
+
+import pytest
+
+from repro.core.onedim import EBlow1DConfig, EBlow1DPlanner
+from repro.errors import ValidationError
+from repro.model import evaluate_plan, system_writing_time
+
+
+class TestPlannerBasics:
+    def test_plan_is_legal_and_beats_vsb(self, small_1d_instance):
+        plan = EBlow1DPlanner().plan(small_1d_instance)
+        plan.validate()
+        report = evaluate_plan(plan)
+        assert report.num_selected > 0
+        assert report.total < report.vsb_only_total
+
+    def test_stats_are_populated(self, small_1d_instance):
+        plan = EBlow1DPlanner().plan(small_1d_instance)
+        for key in (
+            "algorithm",
+            "runtime_seconds",
+            "writing_time",
+            "num_selected",
+            "lp_iterations",
+            "unsolved_history",
+            "last_lp_values",
+            "post_swaps",
+            "post_insertions",
+        ):
+            assert key in plan.stats
+        assert plan.stats["algorithm"] == "e-blow-1d"
+        assert plan.stats["lp_iterations"] >= 1
+
+    def test_rejects_2d_instance(self, small_2d_instance):
+        with pytest.raises(ValidationError):
+            EBlow1DPlanner().plan(small_2d_instance)
+
+    def test_deterministic(self, small_1d_instance):
+        plan_a = EBlow1DPlanner().plan(small_1d_instance)
+        plan_b = EBlow1DPlanner().plan(small_1d_instance)
+        assert plan_a.rows_as_names() == plan_b.rows_as_names()
+
+
+class TestMccBehaviour:
+    def test_balances_regions(self, small_mcc_instance):
+        plan = EBlow1DPlanner().plan(small_mcc_instance)
+        report = evaluate_plan(plan)
+        # The bottleneck region should have been improved substantially.
+        assert report.total < max(small_mcc_instance.vsb_times())
+
+    def test_writing_time_equals_model_evaluation(self, small_mcc_instance):
+        plan = EBlow1DPlanner().plan(small_mcc_instance)
+        assert plan.stats["writing_time"] == pytest.approx(
+            system_writing_time(small_mcc_instance, plan.selected_names)
+        )
+
+
+class TestAblation:
+    def test_ablated_config_disables_stages(self):
+        config = EBlow1DConfig.ablated()
+        assert not config.use_fast_convergence
+        assert not config.use_post_insertion
+        assert config.rounding.convergence_trigger == 0
+
+    def test_full_flow_not_worse_than_ablated(self, small_mcc_instance):
+        full = EBlow1DPlanner().plan(small_mcc_instance)
+        ablated = EBlow1DPlanner(EBlow1DConfig.ablated()).plan(small_mcc_instance)
+        # Fig. 11 of the paper: the full flow improves (or at least matches)
+        # the ablated flow on writing time.
+        assert full.stats["writing_time"] <= ablated.stats["writing_time"] * 1.02
+        ablated.validate()
+
+    def test_post_stage_flags_respected(self, small_1d_instance):
+        config = EBlow1DConfig(use_post_swap=False, use_post_insertion=False)
+        plan = EBlow1DPlanner(config).plan(small_1d_instance)
+        assert plan.stats["post_swaps"] == 0
+        assert plan.stats["post_insertions"] == 0

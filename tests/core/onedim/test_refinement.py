@@ -1,0 +1,96 @@
+"""Unit tests for the DP single-row ordering refinement (Algorithm 3)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.onedim.refinement import refine_row_order
+from repro.core.onedim.row import packed_width
+from repro.model import Character
+
+
+def asym_char(name, width, left, right):
+    return Character(
+        name=name, width=width, height=10,
+        blank_left=left, blank_right=right,
+        vsb_shots=5, repeats=(1.0,),
+    )
+
+
+def brute_force_best_width(chars):
+    best = float("inf")
+    for perm in itertools.permutations(chars):
+        best = min(best, packed_width(list(perm)))
+    return best
+
+
+def test_empty_and_single():
+    assert refine_row_order([]).width == 0.0
+    ch = asym_char("a", 40, 3, 7)
+    refined = refine_row_order([ch])
+    assert refined.width == 40
+    assert refined.order == ("a",)
+    assert refined.left_blank == 3 and refined.right_blank == 7
+
+
+def test_width_matches_manual_two_characters():
+    a = asym_char("a", 40, 2, 8)
+    b = asym_char("b", 30, 6, 1)
+    refined = refine_row_order([a, b])
+    # Best order shares the largest touching blanks: a then b shares min(8,6)=6.
+    assert refined.width == pytest.approx(40 + 30 - 6)
+    assert packed_width([a, b]) == pytest.approx(refined.width)
+
+
+def test_matches_packed_width_of_returned_order():
+    rng = random.Random(3)
+    chars = [
+        asym_char(f"c{i}", rng.uniform(20, 50), rng.uniform(0, 8), rng.uniform(0, 8))
+        for i in range(7)
+    ]
+    refined = refine_row_order(chars)
+    by_name = {c.name: c for c in chars}
+    assert refined.width == pytest.approx(
+        packed_width([by_name[n] for n in refined.order])
+    )
+    assert sorted(refined.order) == sorted(c.name for c in chars)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_close_to_brute_force_optimum(seed):
+    """The 2^(n-1) end-insertion DP should match or nearly match the n! optimum."""
+    rng = random.Random(seed)
+    chars = [
+        asym_char(f"c{i}", rng.uniform(20, 40), rng.uniform(0, 10), rng.uniform(0, 10))
+        for i in range(6)
+    ]
+    refined = refine_row_order(chars)
+    optimum = brute_force_best_width(chars)
+    assert refined.width >= optimum - 1e-9
+    # The paper reports negligible quality loss; allow a tiny slack here.
+    assert refined.width <= optimum * 1.05 + 1e-9
+
+
+def test_symmetric_blanks_reach_lemma1_optimum():
+    chars = [
+        Character.standard_cell(f"c{i}", width=40, height=10, hblank=b, vsb_shots=5, repeats=(1.0,))
+        for i, b in enumerate([8, 6, 5, 3])
+    ]
+    refined = refine_row_order(chars)
+    lemma1 = sum(c.width - c.symmetric_hblank for c in chars) + max(
+        c.symmetric_hblank for c in chars
+    )
+    assert refined.width == pytest.approx(lemma1)
+
+
+def test_threshold_pruning_still_valid():
+    rng = random.Random(1)
+    chars = [
+        asym_char(f"c{i}", rng.uniform(20, 40), rng.uniform(0, 10), rng.uniform(0, 10))
+        for i in range(10)
+    ]
+    loose = refine_row_order(chars, threshold=50)
+    tight = refine_row_order(chars, threshold=2)
+    assert tight.width >= loose.width - 1e-9
+    assert sorted(tight.order) == sorted(c.name for c in chars)

@@ -1,0 +1,73 @@
+"""Unit tests for row bookkeeping under the S-Blank assumption (Lemma 1)."""
+
+import pytest
+
+from repro.core.onedim.row import RowState, greedy_symmetric_order, packed_width
+from repro.errors import ValidationError
+from repro.model import Character
+
+
+def sym_char(name, width, blank, repeats=(1.0,)):
+    return Character.standard_cell(
+        name, width=width, height=10, hblank=blank, vsb_shots=5, repeats=repeats
+    )
+
+
+class TestRowState:
+    def test_lemma1_width(self):
+        row = RowState(capacity=100)
+        row.add(sym_char("a", 40, 6))
+        row.add(sym_char("b", 30, 4))
+        # sum (w - s) + max s = (34 + 26) + 6 = 66
+        assert row.body_width == pytest.approx(60.0)
+        assert row.max_blank == 6.0
+        assert row.used_width == pytest.approx(66.0)
+        assert row.remaining == pytest.approx(34.0)
+
+    def test_fits_and_add_reject(self):
+        row = RowState(capacity=50)
+        row.add(sym_char("a", 40, 5))
+        assert not row.fits(sym_char("b", 30, 5))
+        with pytest.raises(ValidationError):
+            row.add(sym_char("b", 30, 5))
+
+    def test_empty_row(self):
+        row = RowState(capacity=80)
+        assert row.used_width == 0.0
+        assert row.fits(sym_char("a", 80, 0))
+        assert not row.fits(sym_char("a", 81, 0))
+
+    def test_remove(self):
+        row = RowState(capacity=100)
+        row.add(sym_char("a", 40, 6))
+        removed = row.remove("a")
+        assert removed.name == "a"
+        assert row.used_width == 0.0
+        with pytest.raises(ValidationError):
+            row.remove("a")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            RowState(capacity=0)
+
+
+class TestGreedyOrderAndPacking:
+    def test_greedy_order_achieves_lemma1_width(self):
+        chars = [sym_char("a", 40, 8), sym_char("b", 40, 5), sym_char("c", 40, 3)]
+        ordered = greedy_symmetric_order(chars)
+        lemma1 = sum(c.width - c.symmetric_hblank for c in chars) + max(
+            c.symmetric_hblank for c in chars
+        )
+        assert packed_width(ordered) == pytest.approx(lemma1)
+
+    def test_packed_width_shares_min_blank(self):
+        a = Character(name="a", width=40, height=10, blank_left=2, blank_right=7, repeats=(1.0,))
+        b = Character(name="b", width=30, height=10, blank_left=3, blank_right=1, repeats=(1.0,))
+        assert packed_width([a, b]) == pytest.approx(40 + 30 - 3)
+        assert packed_width([b, a]) == pytest.approx(30 + 40 - 1)
+
+    def test_empty_and_single(self):
+        assert packed_width([]) == 0.0
+        assert greedy_symmetric_order([]) == []
+        single = [sym_char("a", 40, 5)]
+        assert packed_width(greedy_symmetric_order(single)) == 40

@@ -1,0 +1,54 @@
+"""Unit tests for the profit computation (Eqn. 6)."""
+
+import pytest
+
+from repro.core.profits import compute_profits, initial_region_times, profit_of
+
+
+def test_initial_profits_use_vsb_times(handmade_1d_instance):
+    inst = handmade_1d_instance
+    profits = compute_profits(inst)
+    # Manual check for character A: repeats (5, 1), n_i - 1 = 9.
+    times = inst.vsb_times()
+    t_max = max(times)
+    expected_a = (times[0] / t_max) * 9 * 5 + (times[1] / t_max) * 9 * 1
+    assert profits[0] == pytest.approx(expected_a)
+    assert len(profits) == inst.num_characters
+    assert all(p >= 0 for p in profits)
+
+
+def test_bottleneck_region_weighs_most(handmade_1d_instance):
+    inst = handmade_1d_instance
+    # Make region 1 the clear bottleneck.
+    times = [10.0, 100.0]
+    profits = compute_profits(inst, times)
+    # Character D only appears in region 1; character A mostly in region 0.
+    # With region 1 dominant, D's profit should beat a region-0-heavy character
+    # of comparable raw reduction.
+    d_profit = profits[3]
+    # D: reduction in region 1 = 4 * 14 = 56 with weight 1.0 -> 56.
+    assert d_profit == pytest.approx(56.0)
+    # A: 5*9*0.1 + 1*9*1.0 = 4.5 + 9 = 13.5
+    assert profits[0] == pytest.approx(13.5)
+
+
+def test_profit_of_single_matches_vector(handmade_1d_instance):
+    inst = handmade_1d_instance
+    times = inst.vsb_times()
+    profits = compute_profits(inst, times)
+    for i in range(inst.num_characters):
+        assert profit_of(inst, i, times) == pytest.approx(profits[i])
+
+
+def test_zero_times_give_zero_profits(handmade_1d_instance):
+    inst = handmade_1d_instance
+    profits = compute_profits(inst, [0.0, 0.0])
+    assert profits == [0.0] * inst.num_characters
+
+
+def test_initial_region_times_with_selection(handmade_1d_instance):
+    inst = handmade_1d_instance
+    empty = initial_region_times(inst)
+    assert empty == pytest.approx(inst.vsb_times())
+    with_a = initial_region_times(inst, ["A"])
+    assert with_a[0] < empty[0]

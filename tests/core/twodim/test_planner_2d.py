@@ -1,0 +1,88 @@
+"""Integration tests for the full 2D E-BLOW planner."""
+
+import pytest
+
+from repro.core.twodim import EBlow2DConfig, EBlow2DPlanner
+from repro.core.twodim.formulation import build_full_ilp_2d
+from repro.errors import ValidationError
+from repro.model import evaluate_plan
+from repro.solver import solve_ilp
+from repro.workloads import generate_tiny_2d_instance
+
+
+def fast_config(fast_schedule, **kwargs):
+    return EBlow2DConfig(schedule=fast_schedule, **kwargs)
+
+
+class TestPlanner2D:
+    def test_plan_is_legal_and_beats_vsb(self, small_2d_instance, fast_schedule):
+        plan = EBlow2DPlanner(fast_config(fast_schedule)).plan(small_2d_instance)
+        plan.validate()
+        report = evaluate_plan(plan)
+        assert report.num_selected > 0
+        assert report.total < report.vsb_only_total
+
+    def test_stats_populated(self, small_2d_instance, fast_schedule):
+        plan = EBlow2DPlanner(fast_config(fast_schedule)).plan(small_2d_instance)
+        for key in (
+            "algorithm",
+            "runtime_seconds",
+            "writing_time",
+            "num_selected",
+            "num_prefiltered",
+            "num_clusters",
+            "annealing_moves",
+        ):
+            assert key in plan.stats
+        assert plan.stats["algorithm"] == "e-blow-2d"
+
+    def test_rejects_1d_instance(self, small_1d_instance):
+        with pytest.raises(ValidationError):
+            EBlow2DPlanner().plan(small_1d_instance)
+
+    def test_deterministic_given_seed(self, small_2d_instance, fast_schedule):
+        a = EBlow2DPlanner(fast_config(fast_schedule, seed=5)).plan(small_2d_instance)
+        b = EBlow2DPlanner(fast_config(fast_schedule, seed=5)).plan(small_2d_instance)
+        assert a.stats["writing_time"] == b.stats["writing_time"]
+        assert sorted(a.selected_names) == sorted(b.selected_names)
+
+    def test_clustering_reduces_block_count(self, small_2d_instance, fast_schedule):
+        clustered = EBlow2DPlanner(fast_config(fast_schedule)).plan(small_2d_instance)
+        unclustered = EBlow2DPlanner(
+            fast_config(fast_schedule, use_clustering=False)
+        ).plan(small_2d_instance)
+        assert clustered.stats["num_clusters"] <= unclustered.stats["num_clusters"]
+
+    def test_prefilter_flag(self, small_2d_instance, fast_schedule):
+        plan = EBlow2DPlanner(
+            fast_config(fast_schedule, use_prefilter=False)
+        ).plan(small_2d_instance)
+        assert plan.stats["num_prefiltered"] >= plan.stats["num_clusters"]
+
+
+class TestFullILP2D:
+    def test_formulation_variable_count(self):
+        inst = generate_tiny_2d_instance(num_characters=4, seed=2)
+        program, index = build_full_ilp_2d(inst)
+        # T + n a + n x + n y + 2 * C(n,2) p/q
+        assert program.num_variables == 1 + 4 + 4 + 4 + 2 * 6
+        assert len(index["p"]) == 6
+
+    def test_tiny_instance_solution_is_legal(self):
+        inst = generate_tiny_2d_instance(num_characters=4, seed=2)
+        program, index = build_full_ilp_2d(inst)
+        solution = solve_ilp(program, time_limit=30)
+        assert solution.status.has_solution
+        from repro.model import Placement2D, StencilPlan
+
+        placements = [
+            Placement2D(
+                name=inst.characters[i].name,
+                x=solution.values[index["x"][i]],
+                y=solution.values[index["y"][i]],
+            )
+            for i, var in index["a"].items()
+            if solution.values[var] > 0.5
+        ]
+        plan = StencilPlan(instance=inst, placements2d=placements)
+        plan.validate()

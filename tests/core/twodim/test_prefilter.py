@@ -1,0 +1,58 @@
+"""Unit tests for the 2D pre-filter stage."""
+
+import pytest
+
+from repro.core.profits import compute_profits
+from repro.core.twodim.prefilter import PreFilterConfig, prefilter_characters
+
+
+def test_respects_area_budget(small_2d_instance):
+    inst = small_2d_instance
+    config = PreFilterConfig(area_factor=0.5)
+    kept = prefilter_characters(inst, config)
+    area = sum(
+        inst.characters[i].width * inst.characters[i].height for i in kept
+    )
+    assert area <= 0.5 * inst.stencil.area + max(
+        c.width * c.height for c in inst.characters
+    )
+    assert kept  # never returns an empty list when profits exist
+
+
+def test_keeps_high_density_characters_first(small_2d_instance):
+    inst = small_2d_instance
+    kept = prefilter_characters(inst, PreFilterConfig(area_factor=0.4))
+    profits = compute_profits(inst)
+    kept_set = set(kept)
+    dropped = [i for i in range(inst.num_characters) if i not in kept_set]
+    if dropped:
+        # Average profit density of the kept set should dominate the dropped set.
+        def density(i):
+            ch = inst.characters[i]
+            return profits[i] / ((ch.width - ch.symmetric_hblank) * (ch.height - ch.symmetric_vblank))
+
+        kept_avg = sum(density(i) for i in kept) / len(kept)
+        dropped_avg = sum(density(i) for i in dropped) / len(dropped)
+        assert kept_avg >= dropped_avg
+
+
+def test_max_candidates_cap(small_2d_instance):
+    kept = prefilter_characters(
+        small_2d_instance, PreFilterConfig(max_candidates=5, area_factor=100.0)
+    )
+    assert len(kept) == 5
+
+
+def test_zero_profit_characters_dropped(small_2d_instance):
+    inst = small_2d_instance
+    kept = prefilter_characters(inst, PreFilterConfig(area_factor=100.0))
+    profits = compute_profits(inst)
+    assert all(profits[i] > 0 for i in kept)
+
+
+def test_large_budget_keeps_all_profitable(small_2d_instance):
+    inst = small_2d_instance
+    profits = compute_profits(inst)
+    profitable = sum(1 for p in profits if p > 0)
+    kept = prefilter_characters(inst, PreFilterConfig(area_factor=1000.0))
+    assert len(kept) == profitable

@@ -1,0 +1,52 @@
+"""Unit tests for the ASCII figure rendering helpers."""
+
+import pytest
+
+from repro.evaluation.figures import render_grouped_bars, render_histogram, render_series
+
+
+class TestRenderSeries:
+    def test_contains_every_point(self):
+        text = render_series({"1M-1": [50, 20, 5], "1M-2": [40, 10]}, title="Fig. 5")
+        assert "Fig. 5" in text
+        assert "1M-1" in text and "1M-2" in text
+        assert text.count("iter") == 5
+
+    def test_bars_scale_with_values(self):
+        text = render_series({"s": [100, 50]}, width=10)
+        lines = [l for l in text.splitlines() if "iter" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_series(self):
+        assert render_series({"s": []}) == "s:"
+
+
+class TestRenderHistogram:
+    def test_basic_shape(self):
+        text = render_histogram([0, 0.5, 1.0], [8, 2], title="Fig. 6")
+        assert "Fig. 6" in text
+        assert "8" in text and "2" in text
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_histogram([0, 1], [1, 2])
+
+    def test_zero_counts(self):
+        text = render_histogram([0, 1], [0])
+        assert "#" not in text
+
+
+class TestRenderGroupedBars:
+    def test_groups_and_series(self):
+        text = render_grouped_bars(
+            {"1D-1": {"e-blow-0": 100.0, "e-blow-1": 91.0}},
+            title="Fig. 11",
+        )
+        assert "Fig. 11" in text
+        assert "e-blow-0" in text and "e-blow-1" in text
+        lines = [l for l in text.splitlines() if "e-blow" in l]
+        assert lines[0].count("#") >= lines[1].count("#")
+
+    def test_empty(self):
+        assert render_grouped_bars({}) == ""

@@ -1,0 +1,66 @@
+"""Unit tests for the generic simulated-annealing engine."""
+
+import random
+
+import pytest
+
+from repro.floorplan import AnnealingSchedule, simulated_annealing
+
+
+def test_minimizes_simple_quadratic():
+    # State: an integer in [-50, 50]; cost: (x - 17)^2.
+    def cost(x):
+        return float((x - 17) ** 2)
+
+    def neighbor(x, rng):
+        return max(-50, min(50, x + rng.choice([-3, -2, -1, 1, 2, 3])))
+
+    result = simulated_annealing(
+        initial_state=-40,
+        cost=cost,
+        neighbor=neighbor,
+        schedule=AnnealingSchedule(
+            initial_temperature=1.0,
+            final_temperature=1e-3,
+            cooling_rate=0.9,
+            moves_per_temperature=50,
+        ),
+        rng=random.Random(0),
+    )
+    assert abs(result.best_state - 17) <= 2
+    assert result.best_cost <= 4.0
+    assert result.moves > 0
+    assert result.accepted <= result.moves
+    assert len(result.cost_trace) >= 2
+
+
+def test_best_cost_never_worse_than_initial():
+    def cost(x):
+        return float(x)
+
+    result = simulated_annealing(
+        initial_state=10.0,
+        cost=cost,
+        neighbor=lambda x, rng: x + rng.uniform(-1, 1),
+        schedule=AnnealingSchedule(moves_per_temperature=5, cooling_rate=0.7),
+        rng=random.Random(1),
+    )
+    assert result.best_cost <= 10.0
+
+
+def test_max_total_moves_limit():
+    schedule = AnnealingSchedule(moves_per_temperature=100, max_total_moves=37)
+    result = simulated_annealing(
+        initial_state=0.0,
+        cost=lambda x: abs(x),
+        neighbor=lambda x, rng: x + rng.uniform(-1, 1),
+        schedule=schedule,
+        rng=random.Random(2),
+    )
+    assert result.moves == 37
+
+
+def test_temperature_ladder_is_decreasing():
+    schedule = AnnealingSchedule(initial_temperature=1.0, final_temperature=0.1, cooling_rate=0.5)
+    ladder = list(schedule.temperatures())
+    assert ladder == pytest.approx([1.0, 0.5, 0.25, 0.125])

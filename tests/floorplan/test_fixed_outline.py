@@ -1,0 +1,53 @@
+"""Unit tests for the fixed-outline packer."""
+
+import pytest
+
+from repro.floorplan import Block, FixedOutlinePacker
+
+
+def writing_time_by_count(selected: set) -> float:
+    """Toy objective: the fewer blocks selected, the worse (100 - 10 each)."""
+    return 100.0 - 10.0 * len(selected)
+
+
+def test_all_blocks_fit_small_case(fast_schedule):
+    blocks = {f"b{i}": Block(f"b{i}", 20, 20, 2, 2, 2, 2) for i in range(4)}
+    packer = FixedOutlinePacker(
+        width=100, height=100, blocks=blocks, writing_time_of=writing_time_by_count
+    )
+    result = packer.pack(schedule=fast_schedule, seed=1)
+    assert set(result.inside) == set(blocks)
+    assert result.cost == pytest.approx(60.0)
+
+
+def test_outline_excludes_blocks_when_too_small(fast_schedule):
+    blocks = {f"b{i}": Block(f"b{i}", 30, 30) for i in range(6)}
+    packer = FixedOutlinePacker(
+        width=60, height=60, blocks=blocks, writing_time_of=writing_time_by_count
+    )
+    result = packer.pack(schedule=fast_schedule, seed=2)
+    # At most 4 blocks of 30x30 fit a 60x60 outline.
+    assert 1 <= len(result.inside) <= 4
+    for name, (x, y) in result.inside.items():
+        block = blocks[name]
+        assert x + block.width <= 60 + 1e-6
+        assert y + block.height <= 60 + 1e-6
+
+
+def test_empty_block_set(fast_schedule):
+    packer = FixedOutlinePacker(
+        width=10, height=10, blocks={}, writing_time_of=lambda s: 42.0
+    )
+    result = packer.pack(schedule=fast_schedule, seed=0)
+    assert result.inside == {}
+    assert result.cost == pytest.approx(42.0)
+
+
+def test_inside_blocks_positions_are_consistent(fast_schedule):
+    blocks = {f"b{i}": Block(f"b{i}", 25, 25, 3, 3, 3, 3) for i in range(5)}
+    packer = FixedOutlinePacker(
+        width=80, height=80, blocks=blocks, writing_time_of=writing_time_by_count
+    )
+    result = packer.pack(schedule=fast_schedule, seed=3)
+    for name, position in result.inside.items():
+        assert result.packing.positions[name] == position

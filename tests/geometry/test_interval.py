@@ -1,0 +1,46 @@
+"""Unit tests for :class:`repro.geometry.Interval`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry import Interval
+
+
+def test_rejects_inverted_bounds():
+    with pytest.raises(ValidationError):
+        Interval(3.0, 1.0)
+
+
+def test_length_and_contains():
+    interval = Interval(2.0, 5.0)
+    assert interval.length == 3.0
+    assert interval.contains(2.0)
+    assert interval.contains(5.0)
+    assert not interval.contains(5.1)
+    assert interval.contains(5.1, tol=0.2)
+
+
+def test_overlap_and_intersection():
+    a = Interval(0.0, 4.0)
+    b = Interval(3.0, 6.0)
+    c = Interval(5.0, 7.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert a.overlap_length(b) == pytest.approx(1.0)
+    assert a.overlap_length(c) == 0.0
+    assert a.intersection(b) == Interval(3.0, 4.0)
+    assert a.intersection(c) is None
+
+
+def test_union_hull_and_shift():
+    a = Interval(0.0, 2.0)
+    b = Interval(5.0, 6.0)
+    assert a.union_hull(b) == Interval(0.0, 6.0)
+    assert a.shifted(1.5) == Interval(1.5, 3.5)
+
+
+def test_touching_intervals_do_not_overlap():
+    a = Interval(0.0, 2.0)
+    b = Interval(2.0, 4.0)
+    assert not a.overlaps(b)
+    assert a.overlap_length(b) == 0.0

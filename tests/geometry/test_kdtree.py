@@ -1,0 +1,100 @@
+"""Unit tests for the KD-tree (construction, range search, deletion)."""
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry import KDTree
+
+
+def brute_force_range(points, lo, hi):
+    return sorted(
+        payload
+        for coords, payload in points
+        if all(l <= c <= h for l, c, h in zip(lo, coords, hi))
+    )
+
+
+class TestConstruction:
+    def test_empty_build_requires_dimensions(self):
+        with pytest.raises(ValidationError):
+            KDTree.build([])
+        tree = KDTree.build([], dimensions=3)
+        assert len(tree) == 0
+        assert tree.query_range([0, 0, 0], [1, 1, 1]) == []
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            KDTree.build([((1.0, 2.0), "a"), ((1.0, 2.0, 3.0), "b")])
+        tree = KDTree(2)
+        with pytest.raises(ValidationError):
+            tree.insert((1.0,), "x")
+
+    def test_rejects_duplicate_payload_insert(self):
+        tree = KDTree(2)
+        tree.insert((1, 1), "a")
+        with pytest.raises(ValidationError):
+            tree.insert((2, 2), "a")
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self):
+        rng = random.Random(42)
+        points = [
+            ((rng.uniform(0, 100), rng.uniform(0, 100)), i) for i in range(300)
+        ]
+        tree = KDTree.build(points)
+        for _ in range(40):
+            lo = [rng.uniform(0, 80), rng.uniform(0, 80)]
+            hi = [lo[0] + rng.uniform(0, 40), lo[1] + rng.uniform(0, 40)]
+            assert sorted(tree.query_range(lo, hi)) == brute_force_range(points, lo, hi)
+
+    def test_incremental_insert_matches_brute_force(self):
+        rng = random.Random(1)
+        tree = KDTree(3)
+        points = []
+        for i in range(120):
+            coords = (rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10))
+            tree.insert(coords, i)
+            points.append((coords, i))
+        lo, hi = [2, 2, 2], [8, 8, 8]
+        assert sorted(tree.query_range(lo, hi)) == brute_force_range(points, lo, hi)
+
+    def test_bounds_dimension_check(self):
+        tree = KDTree.build([((1.0, 2.0), "a")])
+        with pytest.raises(ValidationError):
+            tree.query_range([0.0], [1.0])
+
+
+class TestDeletionAndNearest:
+    def test_lazy_deletion(self):
+        points = [((float(i), float(i)), i) for i in range(20)]
+        tree = KDTree.build(points)
+        assert tree.remove(5)
+        assert not tree.remove(5)       # already deleted
+        assert not tree.remove(999)     # never existed
+        assert len(tree) == 19
+        assert 5 not in tree
+        assert 6 in tree
+        result = tree.query_range([0, 0], [30, 30])
+        assert 5 not in result and len(result) == 19
+
+    def test_nearest(self):
+        points = [((float(i), 0.0), i) for i in range(10)]
+        tree = KDTree.build(points)
+        payload, dist = tree.nearest((3.2, 0.0))
+        assert payload == 3
+        assert dist == pytest.approx(0.2)
+        tree.remove(3)
+        payload, _ = tree.nearest((3.2, 0.0))
+        assert payload == 4  # falls back to next closest live point
+
+    def test_nearest_on_empty(self):
+        tree = KDTree(2)
+        assert tree.nearest((0, 0)) is None
+
+    def test_items_lists_live_points(self):
+        tree = KDTree.build([((1.0, 1.0), "a"), ((2.0, 2.0), "b")])
+        tree.remove("a")
+        assert [p for _, p in tree.items()] == ["b"]

@@ -1,0 +1,48 @@
+"""Unit tests for :class:`repro.geometry.Rect`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry import Rect
+
+
+def test_rejects_negative_size():
+    with pytest.raises(ValidationError):
+        Rect(0, 0, -1, 5)
+
+
+def test_edges_area_spans():
+    r = Rect(1, 2, 3, 4)
+    assert r.x2 == 4
+    assert r.y2 == 6
+    assert r.area == 12
+    assert r.x_span.length == 3
+    assert r.y_span.length == 4
+
+
+def test_overlap_relations():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 10, 10)
+    c = Rect(10, 0, 5, 5)  # touching edge only
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert a.overlap_area(b) == pytest.approx(25.0)
+    assert a.overlap_area(c) == 0.0
+
+
+def test_containment():
+    outer = Rect(0, 0, 100, 100)
+    inner = Rect(10, 10, 20, 20)
+    assert outer.contains_rect(inner)
+    assert not inner.contains_rect(outer)
+    assert outer.contains_point(50, 50)
+    assert not outer.contains_point(150, 50)
+
+
+def test_translate_inset_union():
+    r = Rect(0, 0, 10, 8)
+    assert r.translated(2, 3) == Rect(2, 3, 10, 8)
+    assert r.inset(1, 2, 3, 1) == Rect(1, 2, 6, 5)
+    with pytest.raises(ValidationError):
+        r.inset(6, 0, 6, 0)
+    assert r.union_hull(Rect(5, 5, 10, 10)) == Rect(0, 0, 15, 15)

@@ -1,0 +1,56 @@
+"""Unit tests for JSON serialization of instances, plans, and comparisons."""
+
+import json
+
+import pytest
+
+from repro.baselines import Greedy1DPlanner
+from repro.evaluation import run_comparison
+from repro.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_plan,
+    save_comparison,
+    save_instance,
+    save_plan,
+)
+from repro.model import StencilPlan, evaluate_plan
+
+
+class TestInstanceSerialization:
+    def test_json_round_trip(self, small_mcc_instance):
+        text = instance_to_json(small_mcc_instance)
+        again = instance_from_json(text)
+        assert again.name == small_mcc_instance.name
+        assert again.num_characters == small_mcc_instance.num_characters
+        assert again.vsb_times() == pytest.approx(small_mcc_instance.vsb_times())
+
+    def test_file_round_trip(self, tmp_path, small_1d_instance):
+        path = save_instance(small_1d_instance, tmp_path / "inst.json")
+        loaded = load_instance(path)
+        assert loaded.to_dict() == small_1d_instance.to_dict()
+
+
+class TestPlanSerialization:
+    def test_plan_round_trip(self, tmp_path, small_1d_instance):
+        plan = Greedy1DPlanner().plan(small_1d_instance)
+        path = save_plan(plan, tmp_path / "plan.json")
+        loaded = load_plan(small_1d_instance, path)
+        assert loaded.rows_as_names() == plan.rows_as_names()
+        loaded.validate()
+        assert evaluate_plan(loaded).total == pytest.approx(plan.stats["writing_time"])
+
+    def test_selection_only_plan_round_trip(self, tmp_path, small_1d_instance):
+        plan = StencilPlan.from_selection(small_1d_instance, ["c0", "c1"])
+        path = save_plan(plan, tmp_path / "sel.json")
+        loaded = load_plan(small_1d_instance, path)
+        assert loaded.selected_names == ["c0", "c1"]
+
+
+class TestComparisonSerialization:
+    def test_save_comparison_is_valid_json(self, tmp_path, small_1d_instance):
+        comparison = run_comparison([small_1d_instance], {"greedy": Greedy1DPlanner})
+        path = save_comparison(comparison, tmp_path / "cmp.json")
+        data = json.loads(path.read_text())
+        assert data["rows"][0]["case"] == small_1d_instance.name

@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.model.character`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Character
+
+
+def make(name="c", **kwargs):
+    defaults = dict(width=40.0, height=20.0, vsb_shots=10.0, repeats=(3.0,))
+    defaults.update(kwargs)
+    return Character(name=name, **defaults)
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            make(name="")
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValidationError):
+            make(width=0.0)
+        with pytest.raises(ValidationError):
+            make(height=-1.0)
+
+    def test_rejects_negative_blanks(self):
+        with pytest.raises(ValidationError):
+            make(blank_left=-1.0)
+
+    def test_rejects_blanks_exceeding_size(self):
+        with pytest.raises(ValidationError):
+            make(blank_left=25.0, blank_right=25.0)
+        with pytest.raises(ValidationError):
+            make(blank_top=15.0, blank_bottom=15.0)
+
+    def test_rejects_negative_shots_and_repeats(self):
+        with pytest.raises(ValidationError):
+            make(vsb_shots=-1.0)
+        with pytest.raises(ValidationError):
+            make(cp_shots=-1.0)
+        with pytest.raises(ValidationError):
+            make(repeats=(-2.0,))
+
+
+class TestGeometry:
+    def test_pattern_dimensions(self):
+        ch = make(blank_left=4.0, blank_right=6.0, blank_top=2.0, blank_bottom=3.0)
+        assert ch.pattern_width == pytest.approx(30.0)
+        assert ch.pattern_height == pytest.approx(15.0)
+
+    def test_symmetric_blank_is_ceiled_average(self):
+        ch = make(blank_left=3.0, blank_right=4.0)
+        assert ch.symmetric_hblank == 4.0  # ceil(3.5)
+        ch2 = make(blank_left=4.0, blank_right=4.0)
+        assert ch2.symmetric_hblank == 4.0
+
+    def test_horizontal_overlap_uses_min_of_touching_blanks(self):
+        left = make(name="l", blank_right=5.0)
+        right = make(name="r", blank_left=3.0)
+        assert left.horizontal_overlap(right) == 3.0
+        assert right.horizontal_overlap(left) == 0.0  # right.blank_right=0
+
+    def test_vertical_overlap(self):
+        below = make(name="b", blank_top=6.0)
+        above = make(name="a", blank_bottom=2.0)
+        assert below.vertical_overlap(above) == 2.0
+
+    def test_with_symmetric_blanks_round_trip(self):
+        ch = make(blank_left=3.0, blank_right=6.0)
+        sym = ch.with_symmetric_blanks()
+        assert sym.blank_left == sym.blank_right == ch.symmetric_hblank
+
+
+class TestWritingTime:
+    def test_repeats_and_times(self):
+        ch = make(repeats=(3.0, 5.0), vsb_shots=10.0, cp_shots=1.0)
+        assert ch.repeats_in(0) == 3.0
+        assert ch.repeats_in(1) == 5.0
+        assert ch.repeats_in(7) == 0.0
+        assert ch.total_repeats() == 8.0
+        assert ch.vsb_time_in(0) == 30.0
+        assert ch.cp_time_in(1) == 5.0
+        assert ch.reduction_in(0) == 3.0 * 9.0
+        assert ch.total_reduction() == 8.0 * 9.0
+
+    def test_zero_cp_shots_reduction(self):
+        ch = make(repeats=(2.0,), vsb_shots=7.0, cp_shots=0.0)
+        assert ch.reduction_in(0) == 14.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        ch = make(blank_left=2.0, blank_right=3.0, blank_top=1.0, repeats=(1.0, 2.0))
+        again = Character.from_dict(ch.to_dict())
+        assert again == ch
+
+    def test_standard_cell_constructor(self):
+        ch = Character.standard_cell("s", width=40, height=20, hblank=5,
+                                     vsb_shots=12, repeats=(2.0,))
+        assert ch.blank_left == ch.blank_right == 5
+        assert ch.blank_top == ch.blank_bottom == 0.0

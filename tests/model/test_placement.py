@@ -1,0 +1,170 @@
+"""Unit tests for :mod:`repro.model.placement` (plan building and validation)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.model import (
+    Character,
+    OSPInstance,
+    Placement2D,
+    Region,
+    RowPlacement,
+    StencilPlan,
+    StencilSpec,
+)
+
+
+@pytest.fixture
+def instance_1d():
+    chars = (
+        Character(name="a", width=40, height=10, blank_left=5, blank_right=5, repeats=(1.0,)),
+        Character(name="b", width=30, height=10, blank_left=4, blank_right=6, repeats=(1.0,)),
+        Character(name="c", width=20, height=10, blank_left=2, blank_right=2, repeats=(1.0,)),
+    )
+    return OSPInstance(
+        name="p1",
+        characters=chars,
+        regions=(Region("w1", 0),),
+        stencil=StencilSpec(width=100, height=20, rows=2),
+        kind="1D",
+    )
+
+
+@pytest.fixture
+def instance_2d():
+    chars = (
+        Character(name="a", width=40, height=30, blank_left=5, blank_right=5,
+                  blank_top=4, blank_bottom=4, repeats=(1.0,)),
+        Character(name="b", width=30, height=30, blank_left=6, blank_right=6,
+                  blank_top=3, blank_bottom=3, repeats=(1.0,)),
+    )
+    return OSPInstance(
+        name="p2",
+        characters=chars,
+        regions=(Region("w1", 0),),
+        stencil=StencilSpec(width=100, height=60),
+        kind="2D",
+    )
+
+
+class TestFromRows:
+    def test_packs_with_blank_sharing(self, instance_1d):
+        plan = StencilPlan.from_rows(instance_1d, [["a", "b"], ["c"]])
+        plan.validate()
+        placements = {p.name: p for p in plan.row_placements}
+        assert placements["a"].x == 0.0
+        # b starts at a.width - min(a.blank_right, b.blank_left) = 40 - 4 = 36
+        assert placements["b"].x == pytest.approx(36.0)
+        assert placements["c"].row == 1
+        assert plan.rows_as_names() == [["a", "b"], ["c"]]
+
+    def test_row_widths(self, instance_1d):
+        plan = StencilPlan.from_rows(instance_1d, [["a", "b"], ["c"]])
+        assert plan.row_widths() == [pytest.approx(66.0), pytest.approx(20.0)]
+
+    def test_selection_vector(self, instance_1d):
+        plan = StencilPlan.from_rows(instance_1d, [["a"], []])
+        assert plan.selection_vector() == [1, 0, 0]
+
+
+class TestValidation1D:
+    def test_rejects_duplicate_placement(self, instance_1d):
+        plan = StencilPlan.from_rows(instance_1d, [["a"], ["a"]])
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_rejects_unknown_character(self, instance_1d):
+        plan = StencilPlan(
+            instance=instance_1d,
+            row_placements=[RowPlacement(name="zz", row=0, x=0.0)],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_rejects_row_out_of_range(self, instance_1d):
+        plan = StencilPlan(
+            instance=instance_1d,
+            row_placements=[RowPlacement(name="a", row=5, x=0.0)],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_rejects_exceeding_stencil_width(self, instance_1d):
+        plan = StencilPlan(
+            instance=instance_1d,
+            row_placements=[RowPlacement(name="a", row=0, x=70.0)],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_rejects_pattern_overlap(self, instance_1d):
+        # a at 0, b at 20: gap = 20 - 40 = -20 < -min(5,4) -> patterns collide
+        plan = StencilPlan(
+            instance=instance_1d,
+            row_placements=[
+                RowPlacement(name="a", row=0, x=0.0),
+                RowPlacement(name="b", row=0, x=20.0),
+            ],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_allows_blank_sharing(self, instance_1d):
+        plan = StencilPlan(
+            instance=instance_1d,
+            row_placements=[
+                RowPlacement(name="a", row=0, x=0.0),
+                RowPlacement(name="b", row=0, x=36.0),
+            ],
+        )
+        plan.validate()
+
+
+class TestValidation2D:
+    def test_accepts_blank_overlap(self, instance_2d):
+        plan = StencilPlan(
+            instance=instance_2d,
+            placements2d=[
+                Placement2D(name="a", x=0.0, y=0.0),
+                Placement2D(name="b", x=35.0, y=0.0),  # shares 5 of blank
+            ],
+        )
+        plan.validate()
+
+    def test_rejects_pattern_overlap(self, instance_2d):
+        plan = StencilPlan(
+            instance=instance_2d,
+            placements2d=[
+                Placement2D(name="a", x=0.0, y=0.0),
+                Placement2D(name="b", x=10.0, y=0.0),
+            ],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+    def test_rejects_outside_outline(self, instance_2d):
+        plan = StencilPlan(
+            instance=instance_2d,
+            placements2d=[Placement2D(name="a", x=80.0, y=0.0)],
+        )
+        with pytest.raises(PlacementError):
+            plan.validate()
+
+
+class TestSelectionOnlyAndSerialization:
+    def test_selection_only_plan(self, instance_1d):
+        plan = StencilPlan.from_selection(instance_1d, ["a", "c"])
+        assert plan.selected_names == ["a", "c"]
+        assert plan.num_selected == 2
+        plan.validate(require_geometry=False)
+
+    def test_round_trip(self, instance_1d):
+        plan = StencilPlan.from_rows(instance_1d, [["a", "b"], ["c"]])
+        data = plan.to_dict()
+        again = StencilPlan.from_dict(instance_1d, data)
+        assert again.rows_as_names() == plan.rows_as_names()
+
+    def test_empty_plan(self, instance_1d):
+        plan = StencilPlan.empty(instance_1d)
+        assert plan.num_selected == 0
+        plan.validate(require_geometry=False)

@@ -1,0 +1,61 @@
+"""Unit tests for the Eqn. (1) writing-time evaluation."""
+
+import pytest
+
+from repro.model import StencilPlan, evaluate_plan, region_writing_times, system_writing_time
+from repro.model.writing_time import writing_time_of_selection
+
+
+class TestRegionTimes:
+    def test_empty_selection_equals_vsb(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        assert region_writing_times(inst, []) == pytest.approx(inst.vsb_times())
+
+    def test_selection_subtracts_reductions(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        times = region_writing_times(inst, ["A"])
+        # A: repeats (5, 1), vsb 10, cp 1 -> reduction (45, 9)
+        expected = [inst.vsb_time(0) - 45.0, inst.vsb_time(1) - 9.0]
+        assert times == pytest.approx(expected)
+
+    def test_system_time_is_max(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        assert system_writing_time(inst, ["A"]) == pytest.approx(
+            max(region_writing_times(inst, ["A"]))
+        )
+
+    def test_selection_vector_wrapper(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        by_names = system_writing_time(inst, ["A", "C"])
+        by_vector = writing_time_of_selection(inst, [1, 0, 1, 0])
+        assert by_names == pytest.approx(by_vector)
+
+    def test_selecting_everything_minimizes_each_region(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        all_names = [c.name for c in inst.characters]
+        times = region_writing_times(inst, all_names)
+        for c, t in enumerate(times):
+            expected = sum(ch.cp_time_in(c) for ch in inst.characters)
+            assert t == pytest.approx(expected)
+
+
+class TestEvaluatePlan:
+    def test_report_fields(self, handmade_1d_instance):
+        inst = handmade_1d_instance
+        plan = StencilPlan.from_selection(inst, ["B"])
+        report = evaluate_plan(plan)
+        assert report.num_selected == 1
+        assert report.total == pytest.approx(system_writing_time(inst, ["B"]))
+        assert report.vsb_only_total == pytest.approx(max(inst.vsb_times()))
+        assert report.improvement >= 0
+        assert 0 <= report.improvement_ratio <= 1
+        assert report.bottleneck_region in (0, 1)
+        # stats cached on the plan
+        assert plan.stats["writing_time"] == pytest.approx(report.total)
+
+    def test_more_selection_never_hurts(self, small_mcc_instance):
+        inst = small_mcc_instance
+        names = [c.name for c in inst.characters]
+        t_small = system_writing_time(inst, names[:5])
+        t_big = system_writing_time(inst, names[:30])
+        assert t_big <= t_small + 1e-9

@@ -1,0 +1,65 @@
+"""Unit tests for the Bounded Subset Sum helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.nphard import BSSInstance, is_bounded, solve_subset_sum
+
+
+class TestBoundedness:
+    def test_paper_example_is_bounded(self):
+        assert is_bounded([1100, 1200, 1413])
+
+    def test_unbounded_example(self):
+        assert not is_bounded([1, 100])
+
+    def test_empty_is_bounded(self):
+        assert is_bounded([])
+
+    def test_instance_validation(self):
+        with pytest.raises(ValidationError):
+            BSSInstance(numbers=(0, 5), target=3)
+        with pytest.raises(ValidationError):
+            BSSInstance(numbers=(5,), target=-1)
+        inst = BSSInstance(numbers=(1100, 1200, 1413), target=2300)
+        assert inst.bounded
+
+
+class TestSubsetSum:
+    def test_paper_example(self):
+        subset = solve_subset_sum([1100, 1200, 1413], 2300)
+        assert subset is not None
+        assert sum([1100, 1200, 1413][i] for i in subset) == 2300
+        assert subset == [0, 1]
+
+    def test_no_solution(self):
+        assert solve_subset_sum([4, 6, 8], 5) is None
+
+    def test_zero_target(self):
+        assert solve_subset_sum([3, 5], 0) == []
+
+    def test_negative_target(self):
+        assert solve_subset_sum([3, 5], -2) is None
+
+    def test_each_number_used_at_most_once(self):
+        # 6 can only be reached by 2 + 4, never by reusing 3 twice.
+        subset = solve_subset_sum([3, 2, 4], 6)
+        assert subset is not None
+        assert len(set(subset)) == len(subset)
+        assert sum([3, 2, 4][i] for i in subset) == 6
+
+    def test_rejects_nonpositive_numbers(self):
+        with pytest.raises(ValidationError):
+            solve_subset_sum([3, 0], 3)
+
+    def test_larger_random_instances(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(10):
+            numbers = [rng.randint(1, 40) for _ in range(12)]
+            chosen = [i for i in range(12) if rng.random() < 0.5]
+            target = sum(numbers[i] for i in chosen)
+            subset = solve_subset_sum(numbers, target)
+            assert subset is not None
+            assert sum(numbers[i] for i in subset) == target

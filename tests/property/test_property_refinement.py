@@ -1,0 +1,76 @@
+"""Property-based tests for the single-row refinement DP and Lemma 1."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.onedim.refinement import refine_row_order
+from repro.core.onedim.row import greedy_symmetric_order, packed_width
+from repro.model import Character
+from repro.nphard import minimum_packing_length
+
+
+@st.composite
+def character_lists(draw, min_size=1, max_size=8, symmetric=False):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    chars = []
+    for i in range(n):
+        width = draw(st.floats(min_value=20, max_value=60))
+        if symmetric:
+            blank = draw(st.floats(min_value=0, max_value=9))
+            left = right = blank
+        else:
+            left = draw(st.floats(min_value=0, max_value=9))
+            right = draw(st.floats(min_value=0, max_value=9))
+        chars.append(
+            Character(
+                name=f"c{i}", width=width, height=10,
+                blank_left=left, blank_right=right,
+                vsb_shots=5, repeats=(1.0,),
+            )
+        )
+    return chars
+
+
+@given(chars=character_lists())
+@settings(max_examples=60, deadline=None)
+def test_refined_width_equals_packed_width_of_order(chars):
+    refined = refine_row_order(chars)
+    by_name = {c.name: c for c in chars}
+    ordered = [by_name[name] for name in refined.order]
+    assert abs(refined.width - packed_width(ordered)) < 1e-6
+    assert sorted(refined.order) == sorted(c.name for c in chars)
+
+
+@given(chars=character_lists())
+@settings(max_examples=60, deadline=None)
+def test_refined_width_bounds(chars):
+    refined = refine_row_order(chars)
+    total_width = sum(c.width for c in chars)
+    max_possible_sharing = sum(
+        max(c.blank_left, c.blank_right) for c in chars
+    )
+    # Never wider than simple concatenation, never narrower than the
+    # theoretical lower bound where every character shares its larger blank.
+    assert refined.width <= total_width + 1e-6
+    assert refined.width >= total_width - max_possible_sharing - 1e-6
+
+
+@given(chars=character_lists(symmetric=True))
+@settings(max_examples=60, deadline=None)
+def test_symmetric_case_achieves_lemma1_optimum(chars):
+    """For symmetric blanks the DP must reach the Lemma 1 minimum packing."""
+    refined = refine_row_order(chars)
+    lemma1 = minimum_packing_length(
+        [(c.width, c.blank_left) for c in chars]
+    )
+    assert abs(refined.width - lemma1) < 1e-6
+    # And the greedy end-insertion order achieves it too.
+    greedy = greedy_symmetric_order(chars)
+    assert abs(packed_width(greedy) - lemma1) < 1e-6
+
+
+@given(chars=character_lists(min_size=2, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_refinement_never_worse_than_identity_order(chars):
+    refined = refine_row_order(chars)
+    assert refined.width <= packed_width(chars) + 1e-6

@@ -1,0 +1,85 @@
+"""Property-based tests for the writing-time objective (Eqn. 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Character, OSPInstance, Region, StencilSpec, system_writing_time
+from repro.model.writing_time import region_writing_times
+
+
+@st.composite
+def instances(draw):
+    num_regions = draw(st.integers(min_value=1, max_value=4))
+    num_chars = draw(st.integers(min_value=1, max_value=12))
+    characters = []
+    for i in range(num_chars):
+        repeats = tuple(
+            float(draw(st.integers(min_value=0, max_value=20)))
+            for _ in range(num_regions)
+        )
+        characters.append(
+            Character(
+                name=f"c{i}",
+                width=draw(st.floats(min_value=10, max_value=60)),
+                height=20.0,
+                blank_left=draw(st.floats(min_value=0, max_value=4)),
+                blank_right=draw(st.floats(min_value=0, max_value=4)),
+                vsb_shots=float(draw(st.integers(min_value=1, max_value=30))),
+                cp_shots=1.0,
+                repeats=repeats,
+            )
+        )
+    return OSPInstance(
+        name="prop",
+        characters=tuple(characters),
+        regions=tuple(Region(f"w{c}", c) for c in range(num_regions)),
+        stencil=StencilSpec(width=500, height=500),
+        kind="1D",
+    )
+
+
+@given(instance=instances(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_monotonicity_of_selection(instance, data):
+    """Adding a character to the stencil never increases any region's time."""
+    names = [c.name for c in instance.characters]
+    subset = data.draw(st.sets(st.sampled_from(names)))
+    extra = data.draw(st.sampled_from(names))
+    smaller = region_writing_times(instance, subset)
+    larger = region_writing_times(instance, set(subset) | {extra})
+    assert all(b <= a + 1e-9 for a, b in zip(smaller, larger))
+
+
+@given(instance=instances())
+@settings(max_examples=60, deadline=None)
+def test_bounds_of_system_writing_time(instance):
+    names = [c.name for c in instance.characters]
+    everything = system_writing_time(instance, names)
+    nothing = system_writing_time(instance, [])
+    # Selecting everything gives the CP-only time; selecting nothing the VSB time.
+    cp_only = max(
+        sum(ch.cp_time_in(c) for ch in instance.characters)
+        for c in range(instance.num_regions)
+    )
+    assert nothing == max(instance.vsb_times())
+    assert abs(everything - cp_only) < 1e-6
+    assert everything <= nothing + 1e-9
+
+
+@given(instance=instances(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_system_time_is_max_of_regions(instance, data):
+    names = [c.name for c in instance.characters]
+    subset = data.draw(st.sets(st.sampled_from(names)))
+    times = region_writing_times(instance, subset)
+    assert system_writing_time(instance, subset) == max(times)
+
+
+@given(instance=instances(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_selection_order_does_not_matter(instance, data):
+    names = [c.name for c in instance.characters]
+    subset = data.draw(st.lists(st.sampled_from(names), unique=True))
+    forward = system_writing_time(instance, subset)
+    backward = system_writing_time(instance, list(reversed(subset)))
+    assert forward == backward

@@ -1,0 +1,69 @@
+"""Unit tests for the SciPy/HiGHS backends."""
+
+import pytest
+
+from repro.solver import LinearProgram, SolveStatus, solve_lp, solve_lp_scipy, solve_milp_scipy
+
+
+def test_lp_basic():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", 0, 10)
+    y = lp.add_variable("y", 0, 10)
+    lp.add_constraint({x: 2.0, y: 1.0}, "<=", 14.0)
+    lp.add_constraint({x: 1.0, y: 3.0}, "<=", 15.0)
+    lp.set_objective({x: 3.0, y: 2.0})
+    sol = solve_lp_scipy(lp)
+    assert sol.status == SolveStatus.OPTIMAL
+    assert lp.is_feasible(sol.values)
+    # Optimum at the intersection of the two constraints: x = 5.4, y = 3.2.
+    assert sol.objective == pytest.approx(22.6, rel=1e-6)
+
+
+def test_lp_equality_constraints():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    lp.add_constraint({x: 1.0, y: 1.0}, "==", 4.0)
+    lp.set_objective({x: 1.0, y: 3.0})
+    sol = solve_lp_scipy(lp)
+    assert sol.objective == pytest.approx(4.0)
+    assert sol.values[0] == pytest.approx(4.0)
+
+
+def test_lp_infeasible_and_unbounded():
+    infeasible = LinearProgram()
+    x = infeasible.add_variable("x", 0, 1)
+    infeasible.add_constraint({x: 1.0}, ">=", 2.0)
+    infeasible.set_objective({x: 1.0})
+    assert solve_lp_scipy(infeasible).status == SolveStatus.INFEASIBLE
+
+    unbounded = LinearProgram(maximize=True)
+    y = unbounded.add_variable("y")
+    unbounded.set_objective({y: 1.0})
+    assert solve_lp_scipy(unbounded).status == SolveStatus.UNBOUNDED
+
+
+def test_milp_respects_integrality():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", 0, 10, is_integer=True)
+    lp.add_constraint({x: 2.0}, "<=", 7.0)
+    lp.set_objective({x: 1.0})
+    sol = solve_milp_scipy(lp)
+    assert sol.status == SolveStatus.OPTIMAL
+    assert sol.values[0] == pytest.approx(3.0)
+
+
+def test_milp_objective_constant_preserved():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_binary("x")
+    lp.set_objective({x: 2.0}, constant=10.0)
+    sol = solve_milp_scipy(lp)
+    assert sol.objective == pytest.approx(12.0)
+
+
+def test_solve_lp_dispatch_backends():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", 0, 2)
+    lp.set_objective({x: 1.0})
+    assert solve_lp(lp, "scipy").objective == pytest.approx(2.0)
+    assert solve_lp(lp, "simplex").objective == pytest.approx(2.0)

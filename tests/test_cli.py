@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_instance
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("generate", "plan", "table3", "table4", "table5", "fig5", "fig6", "fig11"):
+        args = parser.parse_args(
+            [command, "--out", "x.json"] if command == "generate" else
+            [command, "--instance", "x.json"] if command == "plan" else
+            [command]
+        )
+        assert args.command == command
+
+
+def test_generate_and_plan_round_trip(tmp_path, capsys):
+    out = tmp_path / "inst.json"
+    rc = main(
+        [
+            "generate",
+            "--kind",
+            "1D",
+            "--characters",
+            "40",
+            "--regions",
+            "2",
+            "--stencil",
+            "200",
+            "--seed",
+            "3",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    instance = load_instance(out)
+    assert instance.num_characters == 40
+
+    plan_out = tmp_path / "plan.json"
+    rc = main(["plan", "--instance", str(out), "--out", str(plan_out)])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "writing time" in captured
+    assert plan_out.exists()
+
+
+def test_generate_named_case(tmp_path):
+    out = tmp_path / "case.json"
+    rc = main(["generate", "--case", "1T-1", "--out", str(out)])
+    assert rc == 0
+    assert load_instance(out).name == "1T-1"
+
+
+def test_table3_json_output(capsys):
+    rc = main(["table3", "--cases", "1D-1", "--scale", "0.03", "--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["rows"][0]["case"] == "1D-1"
+    assert "e-blow" in data["rows"][0]["results"]
+
+
+def test_fig5_output(capsys):
+    rc = main(["fig5", "--cases", "1M-1", "--scale", "0.03"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1M-1" in out and "unsolved per iteration" in out
+
+
+def test_fig6_output(capsys):
+    rc = main(["fig6", "--case", "1M-1", "--scale", "0.03"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "LP values" in out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

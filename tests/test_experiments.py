@@ -1,0 +1,74 @@
+"""Integration tests for the experiment entry points (tables and figures)."""
+
+import pytest
+
+from repro.experiments import (
+    TABLE3_CASES,
+    TABLE4_CASES,
+    TABLE5_1D_CASES,
+    TABLE5_2D_CASES,
+    run_fig5,
+    run_fig6,
+    run_fig11_12,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+SMALL = 0.03  # tiny scale: these tests check wiring, the benchmarks check shape
+
+
+def test_case_lists_cover_the_paper():
+    assert len(TABLE3_CASES) == 12    # 1D-1..4 + 1M-1..8
+    assert len(TABLE4_CASES) == 12    # 2D-1..4 + 2M-1..8
+    assert len(TABLE5_1D_CASES) == 5  # 1T-1..5
+    assert len(TABLE5_2D_CASES) == 4  # 2T-1..4
+
+
+def test_table3_structure():
+    comparison = run_table3(cases=["1D-1"], scale=SMALL)
+    assert [row.case for row in comparison.rows] == ["1D-1"]
+    assert set(comparison.algorithms()) == {"greedy[24]", "heur[24]", "rows[25]", "e-blow"}
+    row = comparison.rows[0]
+    for result in row.results.values():
+        assert result.writing_time > 0
+        assert result.num_selected >= 0
+
+
+def test_table4_structure(fast_schedule):
+    comparison = run_table4(cases=["2D-1"], scale=SMALL)
+    assert set(comparison.algorithms()) == {"greedy[24]", "sa[24]", "e-blow"}
+    for result in comparison.rows[0].results.values():
+        assert result.writing_time > 0
+
+
+def test_table5_structure():
+    comparison = run_table5(cases_1d=["1T-1"], cases_2d=[], time_limit=20)
+    assert [row.case for row in comparison.rows] == ["1T-1"]
+    results = comparison.rows[0].results
+    assert set(results) == {"ilp", "e-blow"}
+    # E-BLOW should match the optimum on this symmetric-blank tiny case.
+    assert results["e-blow"].writing_time <= results["ilp"].writing_time * 1.05 + 1e-6
+
+
+def test_fig5_traces_decrease():
+    traces = run_fig5(cases=("1M-1",), scale=SMALL)
+    trace = traces["1M-1"]
+    assert trace
+    assert all(b <= a for a, b in zip(trace, trace[1:]))
+
+
+def test_fig6_histogram_sums_to_value_count():
+    histogram = run_fig6(case="1M-1", scale=SMALL, bins=10)
+    assert sum(histogram["counts"]) == histogram["num_values"]
+    assert len(histogram["counts"]) == 10
+    assert histogram["bin_edges"][0] == 0.0
+    assert histogram["bin_edges"][-1] == 1.0
+
+
+def test_fig11_12_ablation_structure():
+    comparison = run_fig11_12(cases=["1D-1"], scale=SMALL)
+    results = comparison.rows[0].results
+    assert set(results) == {"e-blow-0", "e-blow-1"}
+    # Fig. 11: the full flow should not be meaningfully worse than the ablation.
+    assert results["e-blow-1"].writing_time <= results["e-blow-0"].writing_time * 1.05

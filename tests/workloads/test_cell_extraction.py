@@ -1,0 +1,116 @@
+"""Unit tests for the cell-extraction substrate."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import StencilSpec
+from repro.workloads.cell_extraction import (
+    CellMaster,
+    CellUsage,
+    extract_characters,
+    generate_cell_library,
+    generate_usage,
+    instance_from_library,
+)
+
+
+def master(name="m0", rectangles=8):
+    return CellMaster(
+        name=name, width=40, height=25,
+        blank_left=5, blank_right=4, blank_top=0, blank_bottom=0,
+        vsb_rectangles=rectangles,
+    )
+
+
+class TestCellMasterAndUsage:
+    def test_master_validation(self):
+        with pytest.raises(ValidationError):
+            master(rectangles=0)
+
+    def test_usage_validation(self):
+        with pytest.raises(ValidationError):
+            CellUsage(cell="m0", counts=(-1.0,))
+
+    def test_to_character_copies_geometry(self):
+        ch = master().to_character((3.0, 2.0))
+        assert ch.width == 40 and ch.blank_left == 5
+        assert ch.vsb_shots == 8
+        assert ch.repeats == (3.0, 2.0)
+
+
+class TestExtraction:
+    def test_merges_usage_rows(self):
+        library = [master("a"), master("b")]
+        usage = [
+            CellUsage("a", (2.0, 1.0)),
+            CellUsage("a", (1.0, 0.0)),
+            CellUsage("b", (0.0, 0.0)),
+        ]
+        characters = extract_characters(library, usage, num_regions=2)
+        # b is never used, so it is dropped.
+        assert [c.name for c in characters] == ["a"]
+        assert characters[0].repeats == (3.0, 1.0)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValidationError):
+            extract_characters([master("a")], [CellUsage("zz", (1.0,))], 1)
+
+    def test_region_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            extract_characters([master("a")], [CellUsage("a", (1.0,))], 2)
+
+
+class TestGenerators:
+    def test_library_is_deterministic_and_valid(self):
+        a = generate_cell_library(20, seed=3)
+        b = generate_cell_library(20, seed=3)
+        assert [m.name for m in a] == [m.name for m in b]
+        assert all(m.vsb_rectangles >= 1 for m in a)
+        assert all(m.blank_left + m.blank_right <= m.width for m in a)
+
+    def test_standard_cell_height_option(self):
+        library = generate_cell_library(10, seed=1, standard_cell_height=25.0)
+        assert all(m.height == 25.0 and m.blank_top == 0 for m in library)
+        free = generate_cell_library(10, seed=1, standard_cell_height=None)
+        assert any(m.height != 25.0 for m in free)
+
+    def test_usage_shapes(self):
+        library = generate_cell_library(15, seed=2)
+        usage = generate_usage(library, num_regions=3, seed=2)
+        assert len(usage) == 15
+        assert all(len(u.counts) == 3 for u in usage)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            generate_cell_library(0)
+        with pytest.raises(ValidationError):
+            generate_usage(generate_cell_library(3), num_regions=0)
+
+
+class TestPipeline:
+    def test_instance_from_library_plans_end_to_end(self):
+        library = generate_cell_library(40, seed=5)
+        usage = generate_usage(library, num_regions=2, seed=5)
+        instance = instance_from_library(
+            "extracted",
+            library,
+            usage,
+            stencil=StencilSpec(width=200, height=200),
+            num_regions=2,
+        )
+        assert instance.kind == "1D"
+        assert instance.num_characters > 0
+        # The extracted instance is a normal OSP instance: the planner runs on it.
+        from repro.core.onedim import EBlow1DPlanner
+
+        plan = EBlow1DPlanner().plan(instance)
+        plan.validate()
+        assert plan.stats["num_selected"] > 0
+
+    def test_empty_extraction_rejected(self):
+        library = [master("a")]
+        usage = [CellUsage("a", (0.0,))]
+        with pytest.raises(ValidationError):
+            instance_from_library(
+                "empty", library, usage, StencilSpec(width=100, height=100), 1
+            )

@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic instance generators."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (
+    generate_1d_instance,
+    generate_2d_instance,
+    generate_tiny_1d_instance,
+    generate_tiny_2d_instance,
+)
+
+
+class TestGenerate1D:
+    def test_basic_shape(self):
+        inst = generate_1d_instance(num_characters=50, num_regions=3, seed=1)
+        assert inst.kind == "1D"
+        assert inst.num_characters == 50
+        assert inst.num_regions == 3
+        heights = {ch.height for ch in inst.characters}
+        assert len(heights) == 1  # uniform row height
+
+    def test_deterministic_given_seed(self):
+        a = generate_1d_instance(num_characters=30, seed=5)
+        b = generate_1d_instance(num_characters=30, seed=5)
+        assert a.to_dict() == b.to_dict()
+        c = generate_1d_instance(num_characters=30, seed=6)
+        assert a.to_dict() != c.to_dict()
+
+    def test_characters_are_valid(self):
+        inst = generate_1d_instance(num_characters=40, num_regions=2, seed=2)
+        for ch in inst.characters:
+            assert ch.blank_left + ch.blank_right <= ch.width
+            assert ch.vsb_shots >= 1
+            assert len(ch.repeats) == 2
+            assert all(r >= 0 for r in ch.repeats)
+
+    def test_symmetric_blank_option(self):
+        inst = generate_1d_instance(num_characters=20, seed=3, asymmetric_blanks=False)
+        assert all(ch.blank_left == ch.blank_right for ch in inst.characters)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            generate_1d_instance(num_characters=0)
+        with pytest.raises(ValidationError):
+            generate_1d_instance(num_regions=0)
+
+
+class TestGenerate2D:
+    def test_basic_shape(self):
+        inst = generate_2d_instance(num_characters=40, num_regions=2, seed=4)
+        assert inst.kind == "2D"
+        assert inst.num_characters == 40
+        for ch in inst.characters:
+            assert ch.blank_top + ch.blank_bottom <= ch.height
+            assert ch.blank_left + ch.blank_right <= ch.width
+
+    def test_deterministic_given_seed(self):
+        a = generate_2d_instance(num_characters=25, seed=9)
+        b = generate_2d_instance(num_characters=25, seed=9)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestTinyGenerators:
+    def test_tiny_1d_matches_table5_setup(self):
+        inst = generate_tiny_1d_instance(num_characters=8, seed=1)
+        assert inst.stencil.rows == 1
+        assert inst.stencil.width == 200.0
+        assert all(ch.width == 40.0 for ch in inst.characters)
+        assert all(ch.blank_left == ch.blank_right for ch in inst.characters)
+
+    def test_tiny_2d_matches_table5_setup(self):
+        inst = generate_tiny_2d_instance(num_characters=6, seed=1)
+        assert inst.kind == "2D"
+        assert inst.stencil.width == inst.stencil.height == 120.0
+        assert all(ch.width == ch.height == 40.0 for ch in inst.characters)

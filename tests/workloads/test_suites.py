@@ -1,0 +1,84 @@
+"""Unit tests for the named benchmark suites."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads import (
+    ALL_CASES,
+    SUITE_1D,
+    SUITE_1M,
+    SUITE_1T,
+    SUITE_2D,
+    SUITE_2M,
+    SUITE_2T,
+    build_instance,
+    default_scale,
+)
+
+
+def test_suite_sizes_match_paper():
+    assert len(SUITE_1D) == 4
+    assert len(SUITE_1M) == 8
+    assert len(SUITE_2D) == 4
+    assert len(SUITE_2M) == 8
+    assert len(SUITE_1T) == 5
+    assert len(SUITE_2T) == 4
+    assert len(ALL_CASES) == 33
+
+
+def test_paper_scale_parameters():
+    assert SUITE_1D["1D-1"].num_characters == 1000
+    assert SUITE_1D["1D-1"].num_regions == 1
+    assert SUITE_1M["1M-1"].num_regions == 10
+    assert SUITE_1M["1M-5"].num_characters == 4000
+    assert SUITE_1M["1M-5"].stencil == 2000.0
+    assert SUITE_1T["1T-5"].num_characters == 14
+    assert SUITE_2T["2T-4"].num_characters == 12
+
+
+def test_build_instance_scaling():
+    small = build_instance("1D-1", scale=0.05)
+    assert small.num_characters == 50
+    assert small.kind == "1D"
+    assert small.name == "1D-1"
+    larger = build_instance("1D-1", scale=0.1)
+    assert larger.num_characters == 100
+    assert larger.stencil.width > small.stencil.width
+
+
+def test_build_instance_kinds():
+    assert build_instance("2M-1", scale=0.05).kind == "2D"
+    assert build_instance("1T-1").kind == "1D"
+    assert build_instance("2T-1").kind == "2D"
+
+
+def test_case_index_increases_character_width():
+    first = build_instance("1D-1", scale=0.05)
+    last = build_instance("1D-4", scale=0.05)
+    avg_first = sum(c.width for c in first.characters) / first.num_characters
+    avg_last = sum(c.width for c in last.characters) / last.num_characters
+    assert avg_last > avg_first
+
+
+def test_unknown_case_and_bad_scale_rejected():
+    with pytest.raises(ValidationError):
+        build_instance("9Z-1")
+    with pytest.raises(ValidationError):
+        build_instance("1D-1", scale=0.0)
+
+
+def test_default_scale_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert 0 < default_scale() < 1
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+    assert default_scale() == 1.0
+    monkeypatch.delenv("REPRO_PAPER_SCALE")
+    monkeypatch.setenv("REPRO_SCALE", "0.3")
+    assert default_scale() == pytest.approx(0.3)
+
+
+def test_deterministic_instances():
+    a = build_instance("1M-2", scale=0.05)
+    b = build_instance("1M-2", scale=0.05)
+    assert a.to_dict() == b.to_dict()
