@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Benchmark entry point: run the micro + table suites, record a trajectory.
+
+Runs the pytest-benchmark harness over the selected benchmark modules and
+writes a ``BENCH_<YYYYMMDD>.json`` file into the repository root (or
+``--output``).  The file is the perf baseline future PRs compare against:
+keep one per optimization PR and diff the ``stats.mean`` fields.
+
+Usage::
+
+    python benchmarks/run_bench.py                 # micro + table 3/4 suites
+    python benchmarks/run_bench.py --suite micro   # substrate micro only
+    python benchmarks/run_bench.py --suite all     # every benchmark module
+    REPRO_SCALE=0.2 python benchmarks/run_bench.py # larger instances
+
+The instance scale is controlled by ``REPRO_SCALE`` / ``REPRO_PAPER_SCALE``
+exactly as for a direct pytest run (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SUITES = {
+    "micro": ["benchmarks/test_substrate_micro.py"],
+    "tables": [
+        "benchmarks/test_table3_1dosp.py",
+        "benchmarks/test_table4_2dosp.py",
+    ],
+    "default": [
+        "benchmarks/test_substrate_micro.py",
+        "benchmarks/test_table3_1dosp.py",
+        "benchmarks/test_table4_2dosp.py",
+    ],
+    "all": ["benchmarks"],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="default",
+        help="which benchmark modules to run (default: micro + tables)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="output JSON path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (e.g. -k lp)",
+    )
+    args = parser.parse_args(argv)
+
+    date = datetime.date.today().strftime("%Y%m%d")
+    output = args.output or REPO_ROOT / f"BENCH_{date}.json"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *SUITES[args.suite],
+        "-q",
+        f"--benchmark-json={output}",
+        *args.pytest_args,
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+
+    print("+", " ".join(str(c) for c in command))
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode == 0:
+        print(f"\nbenchmark trajectory written to {output}")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

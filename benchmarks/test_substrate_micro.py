@@ -1,8 +1,9 @@
 """Micro-benchmarks of the substrates (not a paper table; regression tracking).
 
 These keep an eye on the performance-critical building blocks: the KD-tree
-range query, the bipartite matching, the LP solve of the simplified
-formulation, and the sequence-pair packing evaluation.
+range query, the bipartite matching, LP construction + solve of the
+simplified formulation, the profit / writing-time kernels, and the
+sequence-pair packing evaluation.
 """
 
 from __future__ import annotations
@@ -12,12 +13,17 @@ import random
 import pytest
 
 from bench_utils import cached_instance
-from repro.core.onedim.formulation import build_simplified_formulation
+from repro.core.kernels import RunningTimes, kernels_of
+from repro.core.onedim.formulation import (
+    SimplifiedLPStructure,
+    build_simplified_formulation,
+)
 from repro.core.profits import compute_profits
 from repro.floorplan import Block, SequencePair
 from repro.floorplan.packing import PackingContext
 from repro.geometry import KDTree
 from repro.matching import max_weight_matching
+from repro.model.writing_time import region_writing_times
 from repro.solver import solve_lp
 
 
@@ -69,6 +75,84 @@ def test_micro_simplified_lp_solve(benchmark, scale):
     )
     solution = benchmark(lambda: solve_lp(formulation.program))
     assert solution.status.has_solution
+
+
+def test_micro_simplified_lp_build(benchmark, scale):
+    """Constructing the LP of formulation (4): structure build + re-slice.
+
+    This is the Python-heavy part of each successive-rounding iteration (the
+    solve itself is HiGHS-dominated); the seed implementation materialized a
+    dict-based ``LinearProgram`` per iteration.
+    """
+    instance = cached_instance("1M-1", scale)
+    profits = compute_profits(instance)
+    num_rows = instance.row_count()
+    characters = list(range(instance.num_characters))
+    row_capacity = [instance.stencil.width] * num_rows
+    row_min_blank = [0.0] * num_rows
+    unsolved = set(characters)
+
+    def run():
+        structure = SimplifiedLPStructure(instance, characters, row_capacity)
+        # Touch the per-iteration re-slice path as well (no solve).
+        active = structure.active_pairs(row_capacity, unsolved)
+        return int(active.sum())
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_profit_kernel(benchmark, scale):
+    """Eqn. 6 profit recomputation — runs once per LP iteration."""
+    instance = cached_instance("1M-1", scale)
+    times = instance.vsb_times()
+
+    def run():
+        acc = 0.0
+        for _ in range(20):
+            acc += compute_profits(instance, times)[0]
+        return acc
+
+    total = benchmark(run)
+    assert total != 0.0
+
+
+def test_micro_writing_time_eval(benchmark, scale):
+    """Eqn. 1 region-time evaluation for medium-size selections."""
+    instance = cached_instance("1M-1", scale)
+    rng = random.Random(3)
+    names = [ch.name for ch in instance.characters]
+    selections = [
+        rng.sample(names, k=len(names) // 3) for _ in range(20)
+    ]
+
+    def run():
+        return sum(max(region_writing_times(instance, s)) for s in selections)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_incremental_times(benchmark, scale):
+    """Incremental O(P) select/deselect updates of the running time vector."""
+    instance = cached_instance("1M-1", scale)
+    kernels = kernels_of(instance)
+    rng = random.Random(4)
+    moves = [rng.randrange(instance.num_characters) for _ in range(2000)]
+
+    def run():
+        running = RunningTimes(kernels)
+        acc = 0.0
+        for i in moves:
+            if i in running:
+                running.deselect(i)
+            else:
+                running.select(i)
+            acc += running.total()
+        return acc
+
+    total = benchmark(run)
+    assert total > 0
 
 
 def test_micro_sequence_pair_packing(benchmark):

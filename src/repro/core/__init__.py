@@ -1,5 +1,19 @@
 """E-BLOW core algorithms (the paper's primary contribution)."""
 
-from repro.core.profits import compute_profits, initial_region_times, profit_of
+from repro.core.kernels import InstanceKernels, RunningTimes, kernels_of
+from repro.core.profits import (
+    compute_profits,
+    compute_profits_scalar,
+    initial_region_times,
+    profit_of,
+)
 
-__all__ = ["compute_profits", "profit_of", "initial_region_times"]
+__all__ = [
+    "compute_profits",
+    "compute_profits_scalar",
+    "profit_of",
+    "initial_region_times",
+    "InstanceKernels",
+    "RunningTimes",
+    "kernels_of",
+]

@@ -55,11 +55,8 @@ def fast_ilp_convergence(
         if i not in state.unsolved:
             continue
         if value > config.upper_threshold:
-            ch = instance.characters[i]
-            if state.rows[j].fits(ch):
-                state.rows[j].add(ch)
-                state.assignment[i] = j
-                state.unsolved.discard(i)
+            if state.rows[j].fits(instance.characters[i]):
+                state.assign(i, j)
         elif value >= config.lower_threshold:
             undecided.add((i, j))
         # value < Lth: the pair is dropped (solved as "not assigned there").
@@ -117,9 +114,6 @@ def fast_ilp_convergence(
     ):
         if solution.values[idx] < 0.5 or i not in state.unsolved:
             continue
-        ch = instance.characters[i]
-        if state.rows[j].fits(ch):
-            state.rows[j].add(ch)
-            state.assignment[i] = j
-            state.unsolved.discard(i)
+        if state.rows[j].fits(instance.characters[i]):
+            state.assign(i, j)
     return state

@@ -14,13 +14,19 @@ Two formulations from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
 from repro.model import OSPInstance
-from repro.solver import LinearProgram
+from repro.solver import LinearProgram, solve_lp_arrays
+from repro.solver.result import SolveStatus
 
 __all__ = [
     "SimplifiedFormulation",
+    "SimplifiedLPStructure",
     "build_simplified_formulation",
     "build_full_ilp",
 ]
@@ -131,6 +137,177 @@ def build_simplified_formulation(
     return SimplifiedFormulation(
         program=program, assign_index=assign_index, blank_index=blank_index
     )
+
+
+class SimplifiedLPStructure:
+    """Reusable constraint-matrix *structure* of the simplified program (4).
+
+    The successive-rounding loop solves the LP relaxation of (4) dozens of
+    times over a shrinking character set.  Only three things change between
+    iterations: the objective (profits), the right-hand sides (remaining row
+    capacities / minimum blanks), and *which* (character, row) variables are
+    still admissible.  The constraint matrix itself — capacity rows, blank
+    coupling rows, assign-once rows — is structurally constant.
+
+    This class therefore assembles the matrix **once** as COO triplets
+    (straight into :mod:`scipy.sparse`, no per-row dict materialization) and
+    re-slices per iteration by fixing retired variables to ``[0, 0]`` bounds
+    and refreshing the rhs vector.  HiGHS' presolve removes the fixed columns
+    at negligible cost, so each iteration pays O(nnz) for the solve only, not
+    for a Python-level rebuild.
+
+    Variable layout: columns ``0..m-1`` are the per-row end blanks ``B_j``;
+    column ``m + k`` is the k-th candidate pair ``a_ij`` (pairs enumerated in
+    (character, row) lexicographic order over the candidates that fit an
+    *empty* row — capacities only ever shrink, so this is a superset of every
+    iteration's admissible set).
+    """
+
+    def __init__(
+        self,
+        instance: OSPInstance,
+        characters: Sequence[int],
+        row_capacity: Sequence[float],
+    ) -> None:
+        self.instance = instance
+        self.characters = sorted(characters)
+        m = len(row_capacity)
+        self.num_rows = m
+
+        chars = np.asarray(self.characters, dtype=int)
+        widths = np.array([instance.characters[i].width for i in chars], dtype=float)
+        blanks = np.array(
+            [instance.characters[i].symmetric_hblank for i in chars], dtype=float
+        )
+        bodies = widths - blanks
+        capacity = np.asarray(row_capacity, dtype=float)
+
+        # Candidate pairs: character x row combinations that fit the row's
+        # capacity at build time (a superset of all later iterations).
+        fits = bodies[:, None] <= capacity[None, :] + 1e-9
+        pos, rows = np.nonzero(fits)
+        self.pair_char = chars[pos]            # original character indices
+        self.pair_row = rows.astype(int)
+        self.pair_body = bodies[pos]
+        self.pair_blank = blanks[pos]
+        k = len(self.pair_char)
+        self.num_pairs = k
+        self.num_variables = m + k
+        pair_cols = m + np.arange(k)
+
+        # --- COO triplets --------------------------------------------------
+        # (4a) cap[j]:       B_j + sum_i body_i a_ij            <= capacity_j
+        # (min) minblank[j]: -B_j                               <= -min_blank_j
+        # (4b) blank[i,j]:   s_i a_ij - B_j                     <= 0
+        # (4c) once[i]:      sum_j a_ij                         <= 1
+        coupled = np.nonzero(self.pair_blank > 0)[0]
+        n_blank = len(coupled)
+        char_pos = {int(i): p for p, i in enumerate(self.characters)}
+        once_row_of_pair = np.array(
+            [char_pos[int(i)] for i in self.pair_char], dtype=int
+        )
+
+        rows_coo = np.concatenate(
+            [
+                np.arange(m),                       # cap: B_j diagonal
+                self.pair_row,                      # cap: pair bodies
+                m + np.arange(m),                   # minblank: -B_j
+                2 * m + np.arange(n_blank),         # blank: s_i a_ij
+                2 * m + np.arange(n_blank),         # blank: -B_j
+                2 * m + n_blank + once_row_of_pair, # once: a_ij
+            ]
+        )
+        cols_coo = np.concatenate(
+            [
+                np.arange(m),
+                pair_cols,
+                np.arange(m),
+                pair_cols[coupled],
+                self.pair_row[coupled],
+                pair_cols,
+            ]
+        )
+        vals_coo = np.concatenate(
+            [
+                np.ones(m),
+                self.pair_body,
+                -np.ones(m),
+                self.pair_blank[coupled],
+                -np.ones(n_blank),
+                np.ones(k),
+            ]
+        )
+        n_cons = 2 * m + n_blank + len(self.characters)
+        self.a_ub = sparse.csr_matrix(
+            (vals_coo, (rows_coo, cols_coo)), shape=(n_cons, self.num_variables)
+        )
+        self._rhs = np.zeros(n_cons)
+        self._rhs[2 * m + n_blank :] = 1.0  # once[i] <= 1
+        self._n_blank = n_blank
+        self._lower = np.zeros(self.num_variables)
+        self._upper_template = np.concatenate(
+            [np.full(m, np.inf), np.zeros(k)]
+        )
+        self._unsolved_mask = np.zeros(instance.num_characters, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Per-iteration solve
+    # ------------------------------------------------------------------ #
+    def active_pairs(
+        self, row_capacity: Sequence[float], unsolved: Iterable[int]
+    ) -> np.ndarray:
+        """Mask over candidate pairs admissible under the current state."""
+        mask = self._unsolved_mask
+        mask[:] = False
+        mask[list(unsolved)] = True
+        capacity = np.asarray(row_capacity, dtype=float)
+        return mask[self.pair_char] & (
+            self.pair_body <= capacity[self.pair_row] + 1e-9
+        )
+
+    def solve_relaxation(
+        self,
+        profits: Sequence[float],
+        row_capacity: Sequence[float],
+        row_min_blank: Sequence[float],
+        unsolved: Iterable[int],
+    ) -> dict[tuple[int, int], float]:
+        """Solve the LP relaxation for the current iteration.
+
+        Returns the ``a_ij`` values of the admissible pairs (empty dict when
+        no unsolved character fits any row).  Raises
+        :class:`~repro.errors.SolverError` when the LP does not solve to
+        optimality, mirroring the object-based path.
+        """
+        m = self.num_rows
+        active = self.active_pairs(row_capacity, unsolved)
+        if not active.any():
+            return {}
+
+        rhs = self._rhs.copy()
+        rhs[:m] = np.asarray(row_capacity, dtype=float)
+        rhs[m : 2 * m] = -np.asarray(row_min_blank, dtype=float)
+
+        upper = self._upper_template.copy()
+        upper[m:][active] = 1.0
+
+        profits_arr = np.asarray(profits, dtype=float)
+        c = np.zeros(self.num_variables)
+        c[m:][active] = profits_arr[self.pair_char[active]]
+
+        solution = solve_lp_arrays(
+            c, self.a_ub, rhs, self._lower, upper, maximize=True
+        )
+        if solution.status != SolveStatus.OPTIMAL:
+            raise SolverError(
+                f"successive rounding LP returned {solution.status}; "
+                "the simplified formulation should always be feasible"
+            )
+        values = solution.values
+        return {
+            (int(self.pair_char[t]), int(self.pair_row[t])): values[m + t]
+            for t in np.nonzero(active)[0]
+        }
 
 
 def build_full_ilp(instance: OSPInstance, num_rows: int | None = None):

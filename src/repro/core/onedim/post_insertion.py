@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.kernels import RunningTimes, kernels_of
 from repro.core.onedim.refinement import refine_row_order
 from repro.core.profits import compute_profits
 from repro.matching import max_weight_matching
 from repro.model import OSPInstance
-from repro.model.writing_time import region_writing_times
 
 __all__ = ["PostInsertionConfig", "post_insertion"]
 
@@ -45,11 +45,14 @@ def post_insertion(
     rows = [list(r) for r in rows]
     inserted_total = 0
 
+    # Incrementally maintained region times: each accepted insertion updates
+    # the vector in O(P) instead of re-summing the selection every round.
+    kernels = kernels_of(instance)
+    selected = {name for row in rows for name in row}
+    running = RunningTimes(kernels, kernels.indices_of(selected))
+
     for _ in range(config.rounds):
-        selected = {name for row in rows for name in row}
-        profits = compute_profits(
-            instance, region_writing_times(instance, selected)
-        )
+        profits = compute_profits(instance, running.as_array())
         profit_by_name = {
             ch.name: profits[i] for i, ch in enumerate(instance.characters)
         }
@@ -92,6 +95,8 @@ def post_insertion(
         inserted_this_round = 0
         for candidate, r in matching.items():
             rows[r] = orders[(candidate, r)]
+            selected.add(candidate)
+            running.select(kernels.name_index[candidate])
             inserted_this_round += 1
         inserted_total += inserted_this_round
         if inserted_this_round == 0:

@@ -6,16 +6,21 @@ replacing an on-stencil character with an off-stencil one both fits the row
 writing time, the swap is applied.  The search is greedy: unselected
 characters are visited in decreasing profit order and each takes the first
 improving swap it finds.
+
+Writing times are evaluated through the incremental
+:class:`~repro.core.kernels.RunningTimes` vector: each trial swap costs
+O(regions) (one add, one subtract, one max over the time vector) instead of
+re-summing the whole selection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.kernels import RunningTimes, kernels_of
 from repro.core.onedim.refinement import refine_row_order
 from repro.core.profits import compute_profits
 from repro.model import OSPInstance
-from repro.model.writing_time import system_writing_time
 
 __all__ = ["PostSwapConfig", "post_swap"]
 
@@ -53,7 +58,10 @@ def post_swap(
     selected = {name for row in rows for name in row}
     row_of = {name: r for r, row in enumerate(rows) for name in row}
 
-    current_time = system_writing_time(instance, selected)
+    kernels = kernels_of(instance)
+    index_of = kernels.name_index
+    running = RunningTimes(kernels, kernels.indices_of(selected))
+    current_time = running.total()
     profits = compute_profits(instance, instance.vsb_times())
     profit_by_name = {
         ch.name: profits[i] for i, ch in enumerate(instance.characters)
@@ -71,20 +79,22 @@ def post_swap(
     swaps = 0
     for candidate in unselected:
         best = None
+        candidate_index = index_of[candidate]
         for target in targets:
             if target not in row_of:
                 continue
             r = row_of[target]
+            # O(P) trial before the (much more expensive) DP fit check.
+            trial_time = running.trial_swap(index_of[target], candidate_index)
+            if trial_time >= current_time - 1e-9:
+                continue
             trial_names = [n for n in rows[r] if n != target] + [candidate]
             trial_chars = [instance.character(n) for n in trial_names]
             refined = refine_row_order(trial_chars, config.refinement_threshold)
             if refined.width > width_limit + 1e-9:
                 continue
-            trial_selected = (selected - {target}) | {candidate}
-            trial_time = system_writing_time(instance, trial_selected)
-            if trial_time < current_time - 1e-9:
-                best = (trial_time, target, r, list(refined.order))
-                break
+            best = (trial_time, target, r, list(refined.order))
+            break
         if best is None:
             continue
         trial_time, target, r, order = best
@@ -93,7 +103,8 @@ def post_swap(
         selected.add(candidate)
         del row_of[target]
         row_of[candidate] = r
-        current_time = trial_time
+        running.swap(index_of[target], candidate_index)
+        current_time = running.total()
         swaps += 1
         if target in targets:
             targets.remove(target)

@@ -26,7 +26,12 @@ __all__ = ["RowState", "greedy_symmetric_order", "packed_width"]
 
 @dataclass
 class RowState:
-    """Capacity bookkeeping of one stencil row under the S-Blank assumption."""
+    """Capacity bookkeeping of one stencil row under the S-Blank assumption.
+
+    ``body_width`` and ``max_blank`` are maintained incrementally so that
+    :meth:`fits` / :meth:`add` are O(1); the successive-rounding loop calls
+    them for every (character, row) candidate of every iteration.
+    """
 
     capacity: float
     characters: list[Character] = field(default_factory=list)
@@ -34,6 +39,15 @@ class RowState:
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValidationError("row capacity must be positive")
+        self._recompute()
+
+    def _recompute(self) -> None:
+        self._body_width = sum(
+            ch.width - ch.symmetric_hblank for ch in self.characters
+        )
+        self._max_blank = max(
+            (ch.symmetric_hblank for ch in self.characters), default=0.0
+        )
 
     # ------------------------------------------------------------------ #
     # Lemma 1 quantities
@@ -41,21 +55,19 @@ class RowState:
     @property
     def body_width(self) -> float:
         """``sum_i (w_i - s_i)`` over the characters currently on the row."""
-        return sum(ch.width - ch.symmetric_hblank for ch in self.characters)
+        return self._body_width
 
     @property
     def max_blank(self) -> float:
         """``max_i s_i`` over the characters currently on the row (0 if empty)."""
-        if not self.characters:
-            return 0.0
-        return max(ch.symmetric_hblank for ch in self.characters)
+        return self._max_blank
 
     @property
     def used_width(self) -> float:
         """Minimum packing length of the row (Lemma 1); 0 when empty."""
         if not self.characters:
             return 0.0
-        return self.body_width + self.max_blank
+        return self._body_width + self._max_blank
 
     @property
     def remaining(self) -> float:
@@ -64,8 +76,9 @@ class RowState:
 
     def fits(self, character: Character) -> bool:
         """Whether the character can be added without exceeding the capacity."""
-        new_body = self.body_width + character.width - character.symmetric_hblank
-        new_max_blank = max(self.max_blank, character.symmetric_hblank)
+        blank = character.symmetric_hblank
+        new_body = self._body_width + character.width - blank
+        new_max_blank = self._max_blank if self._max_blank >= blank else blank
         return new_body + new_max_blank <= self.capacity + 1e-9
 
     def add(self, character: Character) -> None:
@@ -76,12 +89,18 @@ class RowState:
                 f"(used {self.used_width:.1f} of {self.capacity:.1f})"
             )
         self.characters.append(character)
+        blank = character.symmetric_hblank
+        self._body_width += character.width - blank
+        if blank > self._max_blank:
+            self._max_blank = blank
 
     def remove(self, name: str) -> Character:
         """Remove and return the character with the given name."""
         for i, ch in enumerate(self.characters):
             if ch.name == name:
-                return self.characters.pop(i)
+                removed = self.characters.pop(i)
+                self._recompute()
+                return removed
         raise ValidationError(f"character {name!r} is not on this row")
 
     def names(self) -> list[str]:

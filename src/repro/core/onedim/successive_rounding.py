@@ -6,6 +6,16 @@ fractional value (``a_ij >= a_pq * thinv``), packs those characters onto
 their rows, updates profits with the new region writing times, and repeats
 on the remaining *unsolved* characters.
 
+Two evaluation fast paths keep the loop cheap at paper scale:
+
+* the constraint matrix of (4) is assembled **once** as sparse COO triplets
+  (:class:`~repro.core.onedim.formulation.SimplifiedLPStructure`) and only
+  re-sliced per iteration — retired variables get ``[0, 0]`` bounds, rhs
+  vectors are refreshed in O(rows);
+* the per-region writing times are maintained **incrementally** by
+  :class:`~repro.core.kernels.RunningTimes` — every accepted assignment
+  updates the time vector in O(P) instead of re-summing the selection.
+
 The implementation also records the diagnostics the paper plots:
 
 * the number of unsolved characters after every LP iteration (Fig. 5),
@@ -16,12 +26,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.onedim.formulation import build_simplified_formulation
+from repro.core.kernels import RunningTimes, kernels_of
+from repro.core.onedim.formulation import (
+    SimplifiedLPStructure,
+    build_simplified_formulation,
+)
 from repro.core.onedim.row import RowState
 from repro.core.profits import compute_profits
 from repro.errors import SolverError
 from repro.model import OSPInstance
-from repro.model.writing_time import region_writing_times
 from repro.solver import solve_lp
 from repro.solver.result import SolveStatus
 
@@ -52,13 +65,32 @@ class RoundingState:
     unsolved_history: list[int] = field(default_factory=list)
     last_lp_values: dict[tuple[int, int], float] = field(default_factory=dict)
     lp_iterations: int = 0
+    _times: RunningTimes | None = field(default=None, repr=False, compare=False)
 
     @property
     def selected_names(self) -> list[str]:
         return [self.instance.characters[i].name for i in sorted(self.assignment)]
 
+    def assign(self, char_index: int, row_index: int) -> None:
+        """Assign a character to a row, keeping all bookkeeping in sync.
+
+        All mutation of ``rows`` / ``assignment`` must go through this method
+        so the incremental region-time vector stays valid.
+        """
+        self.rows[row_index].add(self.instance.characters[char_index])
+        self.assignment[char_index] = row_index
+        self.unsolved.discard(char_index)
+        if self._times is not None:
+            self._times.select(char_index)
+
+    def running_times(self) -> RunningTimes:
+        """The incrementally maintained per-region writing times."""
+        if self._times is None:
+            self._times = RunningTimes(kernels_of(self.instance), self.assignment)
+        return self._times
+
     def region_times(self) -> list[float]:
-        return region_writing_times(self.instance, self.selected_names)
+        return self.running_times().as_list()
 
     def row_names(self) -> list[list[str]]:
         return [row.names() for row in self.rows]
@@ -78,6 +110,34 @@ def initial_state(instance: OSPInstance, num_rows: int | None = None) -> Roundin
     return RoundingState(instance=instance, rows=rows, unsolved=unsolved, rejected=rejected)
 
 
+def _solve_iteration_legacy(
+    instance: OSPInstance,
+    state: RoundingState,
+    profits: list[float],
+    row_capacity: list[float],
+    row_min_blank: list[float],
+    backend: str,
+) -> dict[tuple[int, int], float]:
+    """Object-based LP build + solve (used by non-SciPy backends)."""
+    formulation = build_simplified_formulation(
+        instance=instance,
+        profits=profits,
+        characters=sorted(state.unsolved),
+        row_capacity=row_capacity,
+        row_min_blank=row_min_blank,
+        relax=True,
+    )
+    if not formulation.assign_index:
+        return {}
+    solution = solve_lp(formulation.program, backend=backend)
+    if solution.status != SolveStatus.OPTIMAL:
+        raise SolverError(
+            f"successive rounding LP returned {solution.status}; "
+            "the simplified formulation should always be feasible"
+        )
+    return formulation.assignment_values(solution.values)
+
+
 def successive_rounding(
     state: RoundingState, config: SuccessiveRoundingConfig | None = None
 ) -> RoundingState:
@@ -89,33 +149,37 @@ def successive_rounding(
     config = config or SuccessiveRoundingConfig()
     instance = state.instance
 
+    # The constraint structure is shared by every iteration; only rhs,
+    # bounds, and the objective are refreshed (SciPy backend fast path).
+    structure: SimplifiedLPStructure | None = None
+    if config.lp_backend == "scipy" and state.unsolved:
+        structure = SimplifiedLPStructure(
+            instance,
+            sorted(state.unsolved),
+            [row.capacity - row.body_width for row in state.rows],
+        )
+
     for _ in range(config.max_iterations):
         if not state.unsolved:
             break
         profits = compute_profits(instance, state.region_times())
         row_capacity = [row.capacity - row.body_width for row in state.rows]
         row_min_blank = [row.max_blank for row in state.rows]
-        formulation = build_simplified_formulation(
-            instance=instance,
-            profits=profits,
-            characters=sorted(state.unsolved),
-            row_capacity=row_capacity,
-            row_min_blank=row_min_blank,
-            relax=True,
-        )
-        if not formulation.assign_index:
+        if structure is not None:
+            values = structure.solve_relaxation(
+                profits, row_capacity, row_min_blank, state.unsolved
+            )
+        else:
+            values = _solve_iteration_legacy(
+                instance, state, profits, row_capacity, row_min_blank,
+                config.lp_backend,
+            )
+        if not values:
             # No unsolved character fits on any row: everything left is rejected.
             state.rejected.update(state.unsolved)
             state.unsolved.clear()
             break
-        solution = solve_lp(formulation.program, backend=config.lp_backend)
-        if solution.status != SolveStatus.OPTIMAL:
-            raise SolverError(
-                f"successive rounding LP returned {solution.status}; "
-                "the simplified formulation should always be feasible"
-            )
         state.lp_iterations += 1
-        values = formulation.assignment_values(solution.values)
         state.last_lp_values = values
 
         max_value = max(values.values())
@@ -128,11 +192,8 @@ def successive_rounding(
                     break
                 if i not in state.unsolved:
                     continue
-                ch = instance.characters[i]
-                if state.rows[j].fits(ch):
-                    state.rows[j].add(ch)
-                    state.assignment[i] = j
-                    state.unsolved.discard(i)
+                if state.rows[j].fits(instance.characters[i]):
+                    state.assign(i, j)
                     assigned_now += 1
         state.unsolved_history.append(len(state.unsolved))
         if assigned_now == 0:

@@ -9,15 +9,26 @@ where ``t_c`` is the *current* writing time of region ``c`` and ``t_max`` is
 the current maximum over regions.  Regions that currently dominate the
 system writing time therefore weigh more, which is how E-BLOW balances the
 throughput of the different CP regions of an MCC system.
+
+:func:`compute_profits` evaluates the whole vector as one matvec over the
+cached instance arrays (see :mod:`repro.core.kernels`);
+:func:`compute_profits_scalar` keeps the loop-based reference implementation
+that the property tests compare against.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.kernels import kernels_of
 from repro.model import OSPInstance
 
-__all__ = ["compute_profits", "profit_of", "initial_region_times"]
+__all__ = [
+    "compute_profits",
+    "compute_profits_scalar",
+    "profit_of",
+    "initial_region_times",
+]
 
 
 def initial_region_times(instance: OSPInstance, selected: Iterable[str] = ()) -> list[float]:
@@ -41,34 +52,43 @@ def compute_profits(
         Current writing time ``t_c`` per region.  Defaults to the pure-VSB
         times (i.e. nothing selected yet).
     """
+    return kernels_of(instance).profits(region_times).tolist()
+
+
+def compute_profits_scalar(
+    instance: OSPInstance,
+    region_times: Sequence[float] | None = None,
+) -> list[float]:
+    """Loop-based reference implementation of :func:`compute_profits`."""
     times = list(region_times) if region_times is not None else instance.vsb_times()
     t_max = max(times) if times else 0.0
-    profits = []
-    for i, ch in enumerate(instance.characters):
-        if t_max <= 0:
-            weightings = [0.0] * instance.num_regions
-        else:
-            weightings = [t / t_max for t in times]
-        profit = sum(
-            weightings[c] * (ch.vsb_shots - ch.cp_shots) * ch.repeats_in(c)
-            for c in range(instance.num_regions)
+    if t_max <= 0:
+        return [0.0] * instance.num_characters
+    weightings = [t / t_max for t in times]
+    regions = range(instance.num_regions)
+    return [
+        float(
+            sum(
+                weightings[c] * (ch.vsb_shots - ch.cp_shots) * ch.repeats_in(c)
+                for c in regions
+            )
         )
-        profits.append(float(profit))
-    return profits
+        for ch in instance.characters
+    ]
 
 
 def profit_of(
     instance: OSPInstance, char_index: int, region_times: Sequence[float]
 ) -> float:
     """Profit of a single character under the given region times."""
-    times = list(region_times)
-    t_max = max(times) if times else 0.0
+    t_max = max(region_times) if len(region_times) else 0.0
     if t_max <= 0:
         return 0.0
     ch = instance.characters[char_index]
+    delta = ch.vsb_shots - ch.cp_shots
     return float(
         sum(
-            (times[c] / t_max) * (ch.vsb_shots - ch.cp_shots) * ch.repeats_in(c)
+            (region_times[c] / t_max) * delta * ch.repeats_in(c)
             for c in range(instance.num_regions)
         )
     )

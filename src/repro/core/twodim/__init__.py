@@ -6,12 +6,13 @@ from repro.core.twodim.clustering import (
     cluster_characters,
 )
 from repro.core.twodim.formulation import build_full_ilp_2d
-from repro.core.twodim.planner import EBlow2DConfig, EBlow2DPlanner
+from repro.core.twodim.planner import ClusterTimeModel, EBlow2DConfig, EBlow2DPlanner
 from repro.core.twodim.prefilter import PreFilterConfig, prefilter_characters
 
 __all__ = [
     "EBlow2DPlanner",
     "EBlow2DConfig",
+    "ClusterTimeModel",
     "PreFilterConfig",
     "prefilter_characters",
     "ClusteringConfig",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import kernels_of
 from repro.core.profits import compute_profits
 from repro.core.twodim.clustering import (
     CharacterCluster,
@@ -24,7 +25,7 @@ from repro.floorplan import AnnealingSchedule, FixedOutlinePacker
 from repro.model import OSPInstance, Placement2D, StencilPlan
 from repro.model.writing_time import evaluate_plan
 
-__all__ = ["EBlow2DConfig", "EBlow2DPlanner"]
+__all__ = ["EBlow2DConfig", "EBlow2DPlanner", "ClusterTimeModel"]
 
 
 @dataclass
@@ -97,12 +98,13 @@ class EBlow2DPlanner:
         # Stage 3: fixed-outline annealing over the clusters.
         blocks = {cl.name: cl.to_block() for cl in clusters}
         cluster_by_name = {cl.name: cl for cl in clusters}
-        writing_time_of = _make_writing_time_callback(instance, cluster_by_name)
+        time_model = ClusterTimeModel(instance, cluster_by_name)
         packer = FixedOutlinePacker(
             width=instance.stencil.width,
             height=instance.stencil.height,
             blocks=blocks,
-            writing_time_of=writing_time_of,
+            writing_time_of=time_model,
+            time_model=time_model,
         )
         schedule = config.resolved_schedule(len(blocks))
         initial_pair = _shelf_initial_pair(clusters, instance.stencil.width)
@@ -170,32 +172,43 @@ def _shelf_initial_pair(clusters: list[CharacterCluster], stencil_width: float):
     return SequencePair(positive=tuple(positive), negative=tuple(negative))
 
 
-def _make_writing_time_callback(instance: OSPInstance, clusters: dict[str, CharacterCluster]):
-    """Vectorized system-writing-time evaluation for sets of cluster names.
+class ClusterTimeModel:
+    """Vectorized region-time evaluation over clusters of characters.
 
-    The annealer calls this for every move, so the per-region reductions are
-    pre-computed into a matrix and summed with NumPy.
+    Selecting a cluster selects all its members at once, so each cluster gets
+    one pre-aggregated reduction vector.  The model is both a plain
+    ``writing_time_of`` callback (set of names -> system writing time) and a
+    :class:`~repro.floorplan.fixed_outline.RegionTimeModel`, which lets the
+    fixed-outline packer evaluate annealing moves incrementally through the
+    delta-cost protocol.
     """
-    vsb = np.array(instance.vsb_times(), dtype=float)
-    index_of = {ch.name: i for i, ch in enumerate(instance.characters)}
-    reductions = np.array(instance.reduction_matrix(), dtype=float)  # (n, P)
-    # Pre-aggregate each cluster's reduction vector: selecting the cluster
-    # selects all its members at once.
-    cluster_names = sorted(clusters)
-    cluster_row = {name: i for i, name in enumerate(cluster_names)}
-    cluster_reductions = np.array(
-        [
-            reductions[[index_of[m.name] for m in clusters[name].members]].sum(axis=0)
-            for name in cluster_names
-        ],
-        dtype=float,
-    )
 
-    def writing_time_of(selected_clusters: set[str]) -> float:
+    def __init__(self, instance: OSPInstance, clusters: dict[str, CharacterCluster]) -> None:
+        kernels = kernels_of(instance)
+        self.vsb = np.asarray(kernels.vsb, dtype=float)
+        reductions = kernels.reductions
+        index_of = kernels.name_index
+        self.cluster_names = sorted(clusters)
+        self.cluster_row = {name: i for i, name in enumerate(self.cluster_names)}
+        self.cluster_reductions = np.array(
+            [
+                reductions[[index_of[m.name] for m in clusters[name].members]].sum(axis=0)
+                for name in self.cluster_names
+            ],
+            dtype=float,
+        ).reshape(len(self.cluster_names), instance.num_regions)
+
+    # RegionTimeModel protocol ------------------------------------------- #
+    def vsb_times_array(self) -> np.ndarray:
+        return self.vsb
+
+    def reduction_rows(self, names) -> np.ndarray:
+        return self.cluster_reductions[[self.cluster_row[name] for name in names]]
+
+    # writing_time_of callback ------------------------------------------- #
+    def __call__(self, selected_clusters: set[str]) -> float:
         if not selected_clusters:
-            return float(vsb.max())
-        rows = [cluster_row[name] for name in selected_clusters]
-        times = vsb - cluster_reductions[rows].sum(axis=0)
+            return float(self.vsb.max())
+        rows = [self.cluster_row[name] for name in selected_clusters]
+        times = self.vsb - self.cluster_reductions[rows].sum(axis=0)
         return float(times.max())
-
-    return writing_time_of

@@ -1,13 +1,18 @@
 """Floorplanning substrate: sequence pair, packing, simulated annealing."""
 
 from repro.floorplan.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
-from repro.floorplan.fixed_outline import FixedOutlinePacker, FixedOutlineResult
-from repro.floorplan.packing import Block, PackingResult, pack_sequence_pair
+from repro.floorplan.fixed_outline import (
+    FixedOutlinePacker,
+    FixedOutlineResult,
+    RegionTimeModel,
+)
+from repro.floorplan.packing import Block, PackingContext, PackingResult, pack_sequence_pair
 from repro.floorplan.sequence_pair import SequencePair
 
 __all__ = [
     "SequencePair",
     "Block",
+    "PackingContext",
     "PackingResult",
     "pack_sequence_pair",
     "AnnealingSchedule",
@@ -15,4 +20,5 @@ __all__ = [
     "simulated_annealing",
     "FixedOutlinePacker",
     "FixedOutlineResult",
+    "RegionTimeModel",
 ]

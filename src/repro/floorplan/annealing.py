@@ -53,11 +53,20 @@ def simulated_annealing(
     neighbor: Callable[[S, random.Random], S],
     schedule: AnnealingSchedule | None = None,
     rng: random.Random | None = None,
+    delta_cost: Callable[[S, S, float], float] | None = None,
 ) -> AnnealingResult[S]:
     """Minimize ``cost`` over states reachable through ``neighbor``.
 
     The initial temperature is auto-scaled to the magnitude of the initial
     cost so callers can use the default schedule regardless of cost units.
+
+    ``delta_cost`` is the optional *delta-cost protocol*: when given, it is
+    called as ``delta_cost(current, candidate, current_cost)`` instead of
+    ``cost(candidate)`` for every move.  ``current`` is always the last
+    accepted state (the one ``candidate`` was derived from), so an
+    implementation can evaluate only the perturbed sub-problem against
+    cached state instead of re-scoring from scratch.  It must return the
+    same value as ``cost(candidate)`` up to floating-point noise.
     """
     schedule = schedule or AnnealingSchedule()
     rng = rng or random.Random(0)
@@ -79,7 +88,10 @@ def simulated_annealing(
                 break
             moves += 1
             candidate = neighbor(current, rng)
-            candidate_cost = cost(candidate)
+            if delta_cost is not None:
+                candidate_cost = delta_cost(current, candidate, current_cost)
+            else:
+                candidate_cost = cost(candidate)
             delta = candidate_cost - current_cost
             if delta <= 0 or rng.random() < math.exp(-delta / max(effective_t, 1e-12)):
                 current = candidate

@@ -6,19 +6,41 @@ pair; any block whose placement falls outside the stencil outline is simply
 **not selected** (it will be written by VSB).  The annealer therefore
 minimizes the system writing time of the blocks that remain inside, with a
 small area-efficiency term as a tie breaker.
+
+When the caller supplies a *region-time model* (an object exposing the
+pure-VSB region times and the per-block reduction vectors, see
+:class:`RegionTimeModel`), the packer evaluates moves through the annealer's
+delta-cost protocol: the per-region writing-time vector of the current state
+is cached and each candidate is scored by applying only the reduction rows
+of the blocks whose inside/outside status actually changed — O(changed x P)
+instead of O(inside x P) per move.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Protocol, Sequence
+
+import numpy as np
 
 from repro.floorplan.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
 from repro.floorplan.packing import Block, PackingContext, PackingResult, pack_sequence_pair
 from repro.floorplan.sequence_pair import SequencePair
 
-__all__ = ["FixedOutlineResult", "FixedOutlinePacker"]
+__all__ = ["FixedOutlineResult", "FixedOutlinePacker", "RegionTimeModel"]
+
+
+class RegionTimeModel(Protocol):
+    """Protocol for vectorized per-region writing-time evaluation of blocks."""
+
+    def vsb_times_array(self) -> np.ndarray:
+        """``(P,)`` pure-VSB region writing times."""
+        ...
+
+    def reduction_rows(self, names: Sequence[str]) -> np.ndarray:
+        """``(len(names), P)`` reduction vectors, one row per block name."""
+        ...
 
 
 @dataclass
@@ -45,7 +67,16 @@ class FixedOutlinePacker:
         Callback mapping the *set of inside block names* to the writing-time
         objective being minimized (the caller closes over the instance and
         the block-to-character mapping).
+    time_model:
+        Optional :class:`RegionTimeModel` equivalent of ``writing_time_of``.
+        When given, moves are scored incrementally through the annealer's
+        delta-cost protocol; results are identical up to floating-point
+        noise (cross-checked in the test suite).
     """
+
+    # Rebuild the cached region-time vector from scratch every this many
+    # delta evaluations so floating-point drift stays bounded.
+    REBASE_INTERVAL = 2048
 
     def __init__(
         self,
@@ -54,6 +85,7 @@ class FixedOutlinePacker:
         blocks: Mapping[str, Block],
         writing_time_of: Callable[[set[str]], float],
         area_weight: float = 0.05,
+        time_model: RegionTimeModel | None = None,
     ) -> None:
         self.width = width
         self.height = height
@@ -61,6 +93,27 @@ class FixedOutlinePacker:
         self.writing_time_of = writing_time_of
         self.area_weight = area_weight
         self._context = PackingContext(self.blocks) if self.blocks else None
+        self.time_model = time_model
+        if time_model is not None and self._context is not None:
+            # Reduction rows aligned with the packing context's block order.
+            self._model_reductions = np.asarray(
+                time_model.reduction_rows(self._context.names), dtype=float
+            )
+            self._model_vsb = np.asarray(time_model.vsb_times_array(), dtype=float)
+        else:
+            self._model_reductions = None
+            self._model_vsb = None
+        # Delta-evaluation cache: inside mask + region times of the last
+        # evaluated states (base = last accepted, last = last candidate).
+        # Pair objects are held by reference (not id()) so identity checks
+        # cannot be fooled by CPython address reuse after garbage collection.
+        self._base_pair: SequencePair | None = None
+        self._base_mask: np.ndarray | None = None
+        self._base_times: np.ndarray | None = None
+        self._last_pair: SequencePair | None = None
+        self._last_mask: np.ndarray | None = None
+        self._last_times: np.ndarray | None = None
+        self._deltas_since_rebase = 0
 
     # ------------------------------------------------------------------ #
     # Cost model
@@ -74,25 +127,97 @@ class FixedOutlinePacker:
                 inside[name] = (x, y)
         return inside
 
-    def cost_of(self, pair: SequencePair) -> float:
-        """Cost of a sequence pair: writing time + small out-of-outline penalty."""
+    def _inside_mask(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         context = self._context
-        if context is None:
-            return self.writing_time_of(set())
-        x, y = context.pack_arrays(pair)
-        inside_mask = (x + context.widths <= self.width + 1e-9) & (
+        return (x + context.widths <= self.width + 1e-9) & (
             y + context.heights <= self.height + 1e-9
         )
-        inside = {context.names[i] for i in range(len(context.names)) if inside_mask[i]}
-        writing_time = self.writing_time_of(inside)
-        # Small pressure to shrink the overall bounding box so that more
-        # blocks can migrate inside the outline in later moves.
+
+    def _penalized(self, writing_time: float, x: np.ndarray, y: np.ndarray) -> float:
+        """Writing time with the small out-of-outline bounding-box penalty.
+
+        The pressure to shrink the overall bounding box helps more blocks
+        migrate inside the outline in later moves.
+        """
+        context = self._context
         packed_width = float((x + context.widths).max()) if len(x) else 0.0
         packed_height = float((y + context.heights).max()) if len(y) else 0.0
         overshoot = max(0.0, packed_width - self.width) + max(
             0.0, packed_height - self.height
         )
         return writing_time * (1.0 + self.area_weight * overshoot / max(self.width, 1.0))
+
+    def cost_of(self, pair: SequencePair) -> float:
+        """Cost of a sequence pair: writing time + small out-of-outline penalty."""
+        context = self._context
+        if context is None:
+            return self.writing_time_of(set())
+        x, y = context.pack_arrays(pair)
+        inside_mask = self._inside_mask(x, y)
+        if self._model_reductions is not None:
+            times = self._model_vsb - self._model_reductions[inside_mask].sum(axis=0)
+            writing_time = float(times.max())
+            self._remember_last(pair, inside_mask, times)
+        else:
+            inside = {context.names[i] for i in np.nonzero(inside_mask)[0]}
+            writing_time = self.writing_time_of(inside)
+        return self._penalized(writing_time, x, y)
+
+    # ------------------------------------------------------------------ #
+    # Delta-cost protocol (incremental evaluation)
+    # ------------------------------------------------------------------ #
+    def _remember_last(
+        self, pair: SequencePair, mask: np.ndarray, times: np.ndarray
+    ) -> None:
+        self._last_pair = pair
+        self._last_mask = mask
+        self._last_times = times
+
+    def _base_for(self, current: SequencePair) -> tuple[np.ndarray, np.ndarray]:
+        """Inside mask + region times of the annealer's current state."""
+        if self._base_pair is not current:
+            if self._last_pair is current:
+                # The previous candidate was accepted: promote its evaluation.
+                self._base_mask = self._last_mask
+                self._base_times = self._last_times
+            else:
+                x, y = self._context.pack_arrays(current)
+                self._base_mask = self._inside_mask(x, y)
+                self._base_times = (
+                    self._model_vsb
+                    - self._model_reductions[self._base_mask].sum(axis=0)
+                )
+            self._base_pair = current
+        return self._base_mask, self._base_times
+
+    def delta_cost(
+        self, current: SequencePair, candidate: SequencePair, current_cost: float
+    ) -> float:
+        """Candidate cost via incremental region-time update vs. ``current``.
+
+        Only the reduction rows of blocks whose inside/outside status changed
+        are applied to the cached time vector of the current state.
+        """
+        base_mask, base_times = self._base_for(current)
+        x, y = self._context.pack_arrays(candidate)
+        mask = self._inside_mask(x, y)
+        changed = mask ^ base_mask
+        if not changed.any():
+            times = base_times
+        else:
+            entered = mask & changed
+            left = base_mask & changed
+            times = base_times.copy()
+            if entered.any():
+                times -= self._model_reductions[entered].sum(axis=0)
+            if left.any():
+                times += self._model_reductions[left].sum(axis=0)
+        self._deltas_since_rebase += 1
+        if self._deltas_since_rebase >= self.REBASE_INTERVAL:
+            self._deltas_since_rebase = 0
+            times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+        self._remember_last(candidate, mask, times)
+        return self._penalized(float(times.max()), x, y)
 
     # ------------------------------------------------------------------ #
     # Search
@@ -113,12 +238,14 @@ class FixedOutlinePacker:
         names = sorted(self.blocks)
         if initial is None:
             initial = SequencePair.initial(names, rng)
+        use_delta = self._model_reductions is not None and self._context is not None
         result = simulated_annealing(
             initial_state=initial,
             cost=self.cost_of,
             neighbor=lambda pair, r: pair.random_neighbor(r),
             schedule=schedule,
             rng=rng,
+            delta_cost=self.delta_cost if use_delta else None,
         )
         packing = pack_sequence_pair(result.best_state, self.blocks)
         inside = self.inside_blocks(packing)

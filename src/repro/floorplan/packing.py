@@ -136,28 +136,8 @@ class PackingContext:
 
     def pack(self, pair: SequencePair) -> PackingResult:
         """Pack a sequence pair over the context's block set."""
+        x, y = self.pack_arrays(pair)
         n = self._n
-        pos_p = np.empty(n, dtype=int)
-        for rank, name in enumerate(pair.positive):
-            pos_p[self.index[name]] = rank
-        order_n = [self.index[name] for name in pair.negative]
-
-        x = np.zeros(n)
-        y = np.zeros(n)
-        seen: list[int] = []
-        for b in order_n:
-            if seen:
-                prev = np.array(seen, dtype=int)
-                left_mask = pos_p[prev] < pos_p[b]
-                below_mask = ~left_mask
-                if left_mask.any():
-                    lefts = prev[left_mask]
-                    x[b] = float(np.max(x[lefts] + self.h_edge[lefts, b]))
-                if below_mask.any():
-                    belows = prev[below_mask]
-                    y[b] = float(np.max(y[belows] + self.v_edge[belows, b]))
-            seen.append(b)
-
         width = float(np.max(x + self.widths)) if n else 0.0
         height = float(np.max(y + self.heights)) if n else 0.0
         return PackingResult(
@@ -170,23 +150,45 @@ class PackingContext:
         )
 
     def pack_arrays(self, pair: SequencePair) -> tuple[np.ndarray, np.ndarray]:
-        """Like :meth:`pack` but return raw coordinate arrays (no dict building)."""
-        result_x = np.zeros(self._n)
-        result_y = np.zeros(self._n)
-        pos_p = np.empty(self._n, dtype=int)
+        """Longest-path coordinates of a sequence pair (no dict building).
+
+        The longest-path DP walks Gamma- order; re-indexing the edge-weight
+        matrices into that order once per call means every step works on
+        contiguous slices (``He[:k, k]``) instead of fancy-indexed gathers,
+        and the predecessor masks are plain prefix views — no per-step
+        allocations besides the DP arrays themselves.
+        """
+        n = self._n
+        result_x = np.zeros(n)
+        result_y = np.zeros(n)
+        if n == 0:
+            return result_x, result_y
+        index = self.index
+        pos_p = np.empty(n, dtype=int)
         for rank, name in enumerate(pair.positive):
-            pos_p[self.index[name]] = rank
-        order_n = [self.index[name] for name in pair.negative]
-        seen: list[int] = []
-        for b in order_n:
-            if seen:
-                prev = np.array(seen, dtype=int)
-                left_mask = pos_p[prev] < pos_p[b]
-                if left_mask.any():
-                    lefts = prev[left_mask]
-                    result_x[b] = float(np.max(result_x[lefts] + self.h_edge[lefts, b]))
-                if (~left_mask).any():
-                    belows = prev[~left_mask]
-                    result_y[b] = float(np.max(result_y[belows] + self.v_edge[belows, b]))
-            seen.append(b)
+            pos_p[index[name]] = rank
+        order = np.fromiter(
+            (index[name] for name in pair.negative), dtype=int, count=n
+        )
+        ranks = pos_p[order]
+        # Transposed so each step reads a contiguous predecessor row.
+        h_edge = self.h_edge[np.ix_(order, order)].T.copy()
+        v_edge = self.v_edge[np.ix_(order, order)].T.copy()
+
+        xs = np.zeros(n)  # coordinates in Gamma- order
+        ys = np.zeros(n)
+        buf = np.empty(n)
+        mask = np.empty(n, dtype=bool)
+        maximum_reduce = np.maximum.reduce
+        for k in range(1, n):
+            m = mask[:k]
+            np.less(ranks[:k], ranks[k], out=m)
+            b = buf[:k]
+            np.add(xs[:k], h_edge[k, :k], out=b)
+            xs[k] = maximum_reduce(b, where=m, initial=0.0)
+            np.invert(m, out=m)
+            np.add(ys[:k], v_edge[k, :k], out=b)
+            ys[k] = maximum_reduce(b, where=m, initial=0.0)
+        result_x[order] = xs
+        result_y[order] = ys
         return result_x, result_y

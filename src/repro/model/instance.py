@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import ValidationError
 from repro.model.character import Character
 from repro.model.region import Region
@@ -47,7 +49,10 @@ class OSPInstance:
     regions: tuple[Region, ...]
     stencil: StencilSpec
     kind: str = "1D"
-    metadata: Mapping[str, object] = field(default_factory=dict)
+    # Excluded from __eq__: metadata doubles as the lazy cache slot for the
+    # NumPy kernel arrays (underscore keys), which would otherwise make
+    # equality depend on — and choke on — cache population order.
+    metadata: Mapping[str, object] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in ("1D", "2D"):
@@ -106,15 +111,55 @@ class OSPInstance:
     # ------------------------------------------------------------------ #
     # Writing-time constants (Section 2.1)
     # ------------------------------------------------------------------ #
+    def _array_cache(self) -> dict:
+        """Lazily built NumPy views of the Section-2.1 constants.
+
+        Instances are immutable, so the arrays are computed once and cached in
+        ``metadata`` (underscore keys are excluded from serialization).  The
+        arrays are marked read-only; callers that need to mutate must copy.
+        """
+        cache = self.metadata.get("_arrays")
+        if cache is None:
+            repeats = np.array([ch.repeats for ch in self.characters], dtype=float)
+            vsb_shots = np.array([ch.vsb_shots for ch in self.characters], dtype=float)
+            cp_shots = np.array([ch.cp_shots for ch in self.characters], dtype=float)
+            shot_delta = vsb_shots - cp_shots
+            reductions = repeats * shot_delta[:, None]
+            vsb_times = (repeats * vsb_shots[:, None]).sum(axis=0)
+            cache = {
+                "repeats": repeats,
+                "shot_delta": shot_delta,
+                "reductions": reductions,
+                "vsb_times": vsb_times,
+            }
+            for arr in cache.values():
+                arr.setflags(write=False)
+            self.metadata["_arrays"] = cache  # type: ignore[index]
+        return cache
+
+    def repeat_matrix_array(self) -> np.ndarray:
+        """Read-only ``(n, P)`` matrix of occurrence counts ``t_ic``."""
+        return self._array_cache()["repeats"]
+
+    def shot_delta_array(self) -> np.ndarray:
+        """Read-only ``(n,)`` vector of per-occurrence savings ``n_i - cp_i``."""
+        return self._array_cache()["shot_delta"]
+
+    def reduction_matrix_array(self) -> np.ndarray:
+        """Read-only ``(n, P)`` matrix of reductions ``R_ic = t_ic (n_i - cp_i)``."""
+        return self._array_cache()["reductions"]
+
+    def vsb_times_array(self) -> np.ndarray:
+        """Read-only ``(P,)`` vector of pure-VSB region writing times."""
+        return self._array_cache()["vsb_times"]
+
     def vsb_time(self, region_index: int) -> float:
         """``T_VSB(c)``: writing time of a region when only VSB is used."""
-        return float(
-            sum(ch.vsb_time_in(region_index) for ch in self.characters)
-        )
+        return float(self.vsb_times_array()[region_index])
 
     def vsb_times(self) -> list[float]:
         """``T_VSB`` for every region, in region-index order."""
-        return [self.vsb_time(c) for c in range(self.num_regions)]
+        return self.vsb_times_array().tolist()
 
     def reduction(self, char_index: int, region_index: int) -> float:
         """``R_ic``: writing-time reduction of character ``i`` in region ``c``."""
@@ -122,10 +167,12 @@ class OSPInstance:
 
     def reduction_matrix(self) -> list[list[float]]:
         """Matrix ``R[i][c]`` of writing-time reductions."""
-        return [
-            [ch.reduction_in(c) for c in range(self.num_regions)]
-            for ch in self.characters
-        ]
+        return self.reduction_matrix_array().tolist()
+
+    def indices_of(self, names: Iterable[str]) -> list[int]:
+        """Character indices for the given names (unknown names are skipped)."""
+        index = self._name_to_index()
+        return [index[name] for name in names if name in index]
 
     # ------------------------------------------------------------------ #
     # Derived 1D quantities

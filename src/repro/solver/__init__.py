@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.solver.branch_and_bound import BranchAndBoundConfig, solve_ilp_branch_and_bound
 from repro.solver.model import Constraint, LinearExpr, LinearProgram, Variable
 from repro.solver.result import Solution, SolveStatus
-from repro.solver.scipy_backend import solve_lp_scipy, solve_milp_scipy
+from repro.solver.scipy_backend import solve_lp_arrays, solve_lp_scipy, solve_milp_scipy
 from repro.solver.simplex import solve_lp_simplex
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "BranchAndBoundConfig",
     "solve_lp",
     "solve_ilp",
+    "solve_lp_arrays",
     "solve_lp_scipy",
     "solve_milp_scipy",
     "solve_lp_simplex",

@@ -19,7 +19,7 @@ from repro.errors import SolverError
 from repro.solver.model import LinearProgram
 from repro.solver.result import Solution, SolveStatus
 
-__all__ = ["solve_lp_scipy", "solve_milp_scipy"]
+__all__ = ["solve_lp_scipy", "solve_milp_scipy", "solve_lp_arrays"]
 
 
 @contextlib.contextmanager
@@ -42,9 +42,13 @@ def _silence_native_stdout():
             os.dup2(devnull.fileno(), stdout_fd)
             yield
     finally:
-        sys.stdout.flush()
-        os.dup2(saved_fd, stdout_fd)
-        os.close(saved_fd)
+        # ``saved_fd`` must be closed even if the flush or the restoring dup2
+        # raises, otherwise every failed solve leaks one descriptor.
+        try:
+            sys.stdout.flush()
+            os.dup2(saved_fd, stdout_fd)
+        finally:
+            os.close(saved_fd)
 
 
 def _build_matrices(program: LinearProgram):
@@ -94,6 +98,28 @@ def _finalize(program: LinearProgram, values: np.ndarray) -> float:
     return float(program.objective_value(values))
 
 
+def _linprog_solution(result, objective_of) -> Solution:
+    """Map a ``linprog`` result to a :class:`Solution` (shared by both paths).
+
+    ``objective_of`` computes the objective in the caller's original
+    optimization sense from the solution vector.
+    """
+    if result.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE, metadata={"message": result.message})
+    if result.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED, metadata={"message": result.message})
+    if not result.success:
+        raise SolverError(f"linprog failed: {result.message}")
+    values = np.asarray(result.x, dtype=float)
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=float(objective_of(values)),
+        values=values.tolist(),
+        iterations=int(getattr(result, "nit", 0) or 0),
+        metadata={"message": result.message},
+    )
+
+
 def solve_lp_scipy(program: LinearProgram) -> Solution:
     """Solve the LP relaxation of ``program`` with HiGHS ``linprog``."""
     c = _objective_vector(program)
@@ -111,20 +137,35 @@ def solve_lp_scipy(program: LinearProgram) -> Solution:
         bounds=bounds,
         method="highs",
     )
-    if result.status == 2:
-        return Solution(status=SolveStatus.INFEASIBLE, metadata={"message": result.message})
-    if result.status == 3:
-        return Solution(status=SolveStatus.UNBOUNDED, metadata={"message": result.message})
-    if not result.success:
-        raise SolverError(f"linprog failed: {result.message}")
-    values = np.asarray(result.x, dtype=float)
-    return Solution(
-        status=SolveStatus.OPTIMAL,
-        objective=_finalize(program, values),
-        values=values.tolist(),
-        iterations=int(getattr(result, "nit", 0) or 0),
-        metadata={"message": result.message},
+    return _linprog_solution(result, lambda values: _finalize(program, values))
+
+
+def solve_lp_arrays(
+    c: np.ndarray,
+    a_ub,
+    b_ub: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    maximize: bool = False,
+) -> Solution:
+    """Solve an LP given directly in matrix form (no ``LinearProgram`` object).
+
+    This is the fast path used by callers that assemble (and re-slice) their
+    constraint matrices themselves, e.g. the cached simplified-formulation
+    structure of the successive-rounding loop.  ``a_ub`` may be any SciPy
+    sparse matrix (or ``None`` for a bounds-only problem); ``lower``/``upper``
+    are per-variable bound vectors (``np.inf`` for unbounded).
+    """
+    cost = -c if maximize else c
+    bounds = np.column_stack((lower, upper))
+    result = optimize.linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub if a_ub is not None else None,
+        bounds=bounds,
+        method="highs",
     )
+    return _linprog_solution(result, lambda values: c @ values)
 
 
 def solve_milp_scipy(

@@ -51,3 +51,63 @@ def test_inside_blocks_positions_are_consistent(fast_schedule):
     result = packer.pack(schedule=fast_schedule, seed=3)
     for name, position in result.inside.items():
         assert result.packing.positions[name] == position
+
+
+class _ToyTimeModel:
+    """Two-region model: block b_i contributes (i+1, 2(i+1)) reduction."""
+
+    def __init__(self, names):
+        import numpy as np
+
+        self.names = list(names)
+        self.vsb = np.array([500.0, 650.0])
+        self.rows = {
+            name: np.array([float(i + 1), 2.0 * (i + 1)])
+            for i, name in enumerate(self.names)
+        }
+
+    def vsb_times_array(self):
+        return self.vsb
+
+    def reduction_rows(self, names):
+        import numpy as np
+
+        return np.array([self.rows[name] for name in names])
+
+    def __call__(self, selected):
+        import numpy as np
+
+        times = self.vsb.copy()
+        for name in selected:
+            times = times - self.rows[name]
+        return float(times.max())
+
+
+def test_delta_cost_protocol_matches_full_evaluation(fast_schedule):
+    """Incremental (delta-cost) annealing equals full re-evaluation exactly."""
+    import random
+
+    from repro.floorplan.sequence_pair import SequencePair
+
+    blocks = {f"b{i}": Block(f"b{i}", 22 + i, 20, 2, 2, 2, 2) for i in range(8)}
+    model = _ToyTimeModel(sorted(blocks))
+    full = FixedOutlinePacker(70, 70, blocks, writing_time_of=model)
+    delta = FixedOutlinePacker(70, 70, blocks, writing_time_of=model, time_model=model)
+
+    rf = full.pack(schedule=fast_schedule, seed=5)
+    rd = delta.pack(schedule=fast_schedule, seed=5)
+    assert rd.cost == pytest.approx(rf.cost, abs=1e-9)
+    assert rd.pair == rf.pair
+
+    # Move-by-move: delta_cost must equal cost_of for arbitrary transitions.
+    rng = random.Random(11)
+    current = SequencePair.initial(sorted(blocks), rng)
+    current_cost = delta.cost_of(current)
+    for _ in range(100):
+        candidate = current.random_neighbor(rng)
+        assert delta.delta_cost(current, candidate, current_cost) == pytest.approx(
+            full.cost_of(candidate), abs=1e-9
+        )
+        if rng.random() < 0.5:
+            current = candidate
+            current_cost = full.cost_of(current)
