@@ -34,10 +34,12 @@ SUITES = {
         "benchmarks/test_table3_1dosp.py",
         "benchmarks/test_table4_2dosp.py",
     ],
+    "batch": ["benchmarks/test_batch_throughput.py"],
     "default": [
         "benchmarks/test_substrate_micro.py",
         "benchmarks/test_table3_1dosp.py",
         "benchmarks/test_table4_2dosp.py",
+        "benchmarks/test_batch_throughput.py",
     ],
     "all": ["benchmarks"],
 }

@@ -5,12 +5,19 @@ Examples
 Generate an instance and plan it::
 
     eblow generate --kind 1D --characters 200 --regions 4 --out inst.json
-    eblow plan --instance inst.json --out plan.json
+    eblow plan --instance inst.json --planner eblow --out plan.json
+
+Batch-serve a whole suite across worker processes (results are cached in the
+content-addressed store, so re-runs are instant)::
+
+    eblow batch --suite 1T --planner eblow --jobs 4 --manifest run.jsonl
+    eblow portfolio --case 1M-1 --jobs 3
+    eblow cache stats
 
 Reproduce the paper's tables and figures (scaled down by default; pass
 ``--scale 1.0`` or set ``REPRO_PAPER_SCALE=1`` for paper-scale instances)::
 
-    eblow table3
+    eblow table3 --jobs 4
     eblow table4 --cases 2D-1 2M-1
     eblow table5
     eblow fig5
@@ -22,10 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro import __version__
-from repro.core.onedim import EBlow1DPlanner
-from repro.core.twodim import EBlow2DPlanner
 from repro.evaluation import format_comparison_table
 from repro.experiments import (
     run_fig5,
@@ -36,6 +42,7 @@ from repro.experiments import (
     run_table5,
 )
 from repro.io import load_instance, save_instance, save_plan
+from repro.model import StencilPlan
 from repro.workloads import build_instance, default_scale, generate_1d_instance, generate_2d_instance
 
 __all__ = ["main", "build_parser"]
@@ -60,9 +67,72 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=None)
     generate.add_argument("--out", required=True)
 
-    plan = sub.add_parser("plan", help="plan an instance with E-BLOW")
+    plan = sub.add_parser("plan", help="plan an instance with a registered planner")
     plan.add_argument("--instance", required=True)
+    plan.add_argument(
+        "--planner",
+        default="eblow",
+        help="registered planner name (bare family names dispatch on instance kind; "
+        "see `eblow batch --list-planners`)",
+    )
+    plan.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="wall-clock seconds for the run (also passed to ILP planners)",
+    )
     plan.add_argument("--out", default=None)
+
+    batch = sub.add_parser("batch", help="run a cases x planners grid through the worker pool")
+    batch.add_argument("--cases", nargs="*", default=None, help="case or suite names (e.g. 1T 1M-3)")
+    batch.add_argument("--suite", default=None, help="suite shorthand (1D, 1M, 2D, 2M, 1T, 2T, all)")
+    batch.add_argument(
+        "--planner",
+        action="append",
+        default=None,
+        help="planner to run on every case (repeatable; default: eblow)",
+    )
+    batch.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    batch.add_argument("--scale", type=float, default=None)
+    batch.add_argument("--timeout", type=float, default=None, help="per-job wall-clock seconds")
+    batch.add_argument("--retries", type=int, default=0, help="re-runs for failed/timed-out jobs")
+    batch.add_argument(
+        "--best-effort",
+        action="store_true",
+        help="keep E-BLOW's wall-clock ILP cap (faster under load, but plans may "
+        "vary between runs; the default deterministic mode drops the cap so "
+        "batch plans are bit-identical to serial runs)",
+    )
+    batch.add_argument("--no-cache", action="store_true", help="bypass the result store")
+    batch.add_argument("--cache-dir", default=None, help="result-store root (default ~/.cache/eblow)")
+    batch.add_argument("--manifest", default=None, help="write a JSONL telemetry manifest here")
+    batch.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    batch.add_argument("--list-planners", action="store_true", help="list registered planners and exit")
+
+    portfolio = sub.add_parser("portfolio", help="race several planners on one instance")
+    portfolio.add_argument("--case", default=None, help="named benchmark case")
+    portfolio.add_argument("--instance", default=None, help="instance JSON file")
+    portfolio.add_argument(
+        "--planner",
+        action="append",
+        default=None,
+        help="portfolio entrant (repeatable; default: greedy / E-BLOW-0 / E-BLOW-1)",
+    )
+    portfolio.add_argument("--jobs", type=int, default=None, help="worker processes (default: entrants)")
+    portfolio.add_argument("--scale", type=float, default=None)
+    portfolio.add_argument("--timeout", type=float, default=None, help="per-entrant wall-clock seconds")
+    portfolio.add_argument("--budget", type=float, default=None, help="stop the race after this many seconds")
+    portfolio.add_argument("--no-cache", action="store_true", help="bypass the result store")
+    portfolio.add_argument("--cache-dir", default=None)
+    portfolio.add_argument("--manifest", default=None, help="write a JSONL telemetry manifest here")
+    portfolio.add_argument("--out", default=None, help="write the winning plan here")
+    portfolio.add_argument("--json", action="store_true")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None)
+    cache.add_argument("--all-versions", action="store_true", help="clear every code version")
+    cache.add_argument("--json", action="store_true")
 
     for name, helptext in (
         ("table3", "reproduce Table 3 (1DOSP comparison)"),
@@ -73,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=helptext)
         cmd.add_argument("--cases", nargs="*", default=None)
         cmd.add_argument("--scale", type=float, default=None)
+        cmd.add_argument("--jobs", type=int, default=1, help="worker processes for the grid")
         cmd.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     fig5 = sub.add_parser("fig5", help="reproduce Fig. 5 (rounding convergence trace)")
@@ -112,18 +183,242 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _planner_options(planner: str, kind: str, time_limit: float | None) -> dict:
+    """Options implied by CLI flags (ILP planners also get the time limit)."""
+    from repro.runtime import resolve_planner
+
+    options: dict = {}
+    if time_limit is not None and resolve_planner(planner, kind).startswith("ilp"):
+        options["time_limit"] = time_limit
+    return options
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.runtime import PlanJob, PlannerSpec, execute_job
+
     instance = load_instance(args.instance)
-    planner = EBlow1DPlanner() if instance.kind == "1D" else EBlow2DPlanner()
-    plan = planner.plan(instance)
+    try:
+        options = _planner_options(args.planner, instance.kind, args.time_limit)
+    except ValidationError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 2
+    # ILP planners enforce the limit inside the solver and return their
+    # incumbent plan; arming the wall-clock job timeout too would fire first
+    # (build + extraction overhead) and discard that incumbent.
+    job = PlanJob(
+        spec=PlannerSpec(args.planner, options),
+        instance=instance,
+        timeout=None if "time_limit" in options else args.time_limit,
+        label=args.planner,
+    )
+    result = execute_job(job)
+    if not result.ok:
+        print(f"{instance.name}: {result.status} — {result.error}", file=sys.stderr)
+        return 1
     print(
-        f"{instance.name}: writing time {plan.stats['writing_time']:.0f}, "
-        f"{plan.stats['num_selected']} characters on stencil, "
-        f"{plan.stats['runtime_seconds']:.2f}s"
+        f"{instance.name}: writing time {result.writing_time:.0f}, "
+        f"{result.num_selected} characters on stencil, "
+        f"{result.runtime_seconds:.2f}s"
     )
     if args.out:
-        save_plan(plan, args.out)
+        save_plan(result.to_plan(instance), args.out)
         print(f"wrote plan to {args.out}")
+    return 0
+
+
+def _batch_spec(name: str, deterministic: bool):
+    """Planner spec for a batch column (E-BLOW gets reproducible-plan mode)."""
+    from repro.runtime import PlannerSpec
+
+    options = {}
+    if deterministic and name.lower().replace("e-blow", "eblow").startswith("eblow"):
+        options["deterministic"] = True
+    return PlannerSpec(name, options)
+
+
+def _batch_store(args):
+    from repro.runtime import ResultStore
+
+    if args.no_cache:
+        return None
+    return ResultStore(args.cache_dir)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runtime import PlannerSpec, Telemetry, grid_jobs, iter_jobs, list_planners
+    from repro.workloads import resolve_cases
+
+    if args.list_planners:
+        for name, description in list_planners().items():
+            print(f"{name:12s} {description}")
+        return 0
+
+    tokens = list(args.cases or [])
+    if args.suite:
+        tokens.insert(0, args.suite)
+    if not tokens:
+        print("batch: no cases given (use --cases and/or --suite)", file=sys.stderr)
+        return 2
+    from repro.errors import ValidationError
+
+    try:
+        cases = resolve_cases(tokens)
+    except ValidationError as exc:
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+    planners = {
+        name: _batch_spec(name, deterministic=not args.best_effort)
+        for name in (args.planner or ["eblow"])
+    }
+    scale = args.scale if args.scale is not None else default_scale()
+
+    store = _batch_store(args)
+    telemetry = Telemetry(args.manifest)
+    grid = grid_jobs(cases, planners, scale=scale, timeout=args.timeout)
+
+    start = time.perf_counter()
+    results = []
+    for result in iter_jobs(
+        grid, max_workers=args.jobs, retries=args.retries, store=store, telemetry=telemetry
+    ):
+        results.append(result)
+        if not args.json:
+            origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
+            line = (
+                f"[{len(results):>3}/{len(grid)}] {result.case:>6} {result.label:<12} "
+                f"{result.status:<7} ({origin}, {result.wall_seconds:.2f}s"
+            )
+            if result.ok:
+                line += f", T={result.writing_time:.0f}, chars={result.num_selected}"
+            line += ")"
+            print(line, flush=True)
+    wall = time.perf_counter() - start
+
+    summary = telemetry.summary()
+    summary["batch_wall_seconds"] = wall
+    summary["jobs_per_second"] = (len(results) / wall) if wall > 0 else float("inf")
+    summary["workers"] = args.jobs
+    if args.json:
+        payload = {"results": [r.to_dict() for r in results], "summary": summary}
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(
+            f"\n{summary['jobs']} jobs in {wall:.2f}s "
+            f"({summary['jobs_per_second']:.2f} jobs/s, --jobs {args.jobs}): "
+            f"{summary['ok']} ok, {summary['errors']} errors, "
+            f"{summary['timeouts']} timeouts, "
+            f"{summary['cache_hits']} cache hits / {summary['cache_misses']} misses"
+        )
+        if args.manifest:
+            print(f"manifest written to {args.manifest}")
+    return 0 if summary["ok"] == summary["jobs"] else 1
+
+
+_PORTFOLIO_DEFAULTS = {
+    "1D": {
+        "greedy": "greedy-1d",
+        "e-blow-0": ("eblow-1d", {"ablated": True}),
+        "e-blow-1": "eblow-1d",
+    },
+    "2D": {"greedy": "greedy-2d", "sa": "sa-2d", "e-blow": "eblow-2d"},
+}
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.runtime import PlannerSpec, Telemetry, run_portfolio
+
+    if (args.case is None) == (args.instance is None):
+        print("portfolio: give exactly one of --case or --instance", file=sys.stderr)
+        return 2
+    if args.instance is not None:
+        target = load_instance(args.instance)
+        kind = target.kind
+        scale = None
+    else:
+        from repro.workloads import ALL_CASES
+
+        case = ALL_CASES.get(args.case)
+        if case is None:
+            print(f"portfolio: unknown case {args.case!r}", file=sys.stderr)
+            return 2
+        target = args.case
+        scale = args.scale if args.scale is not None else default_scale()
+        # Tiny suites use their own kind tags; the planner kind is 1D/2D.
+        kind = {"1T": "1D", "2T": "2D"}.get(case.kind, case.kind)
+
+    if args.planner:
+        entries = {name: PlannerSpec(name) for name in args.planner}
+    else:
+        entries = {
+            label: PlannerSpec(*spec) if isinstance(spec, tuple) else PlannerSpec(spec)
+            for label, spec in _PORTFOLIO_DEFAULTS[kind].items()
+        }
+
+    telemetry = Telemetry(args.manifest)
+    outcome = run_portfolio(
+        target,
+        entries,
+        scale=scale,
+        max_workers=args.jobs,
+        timeout=args.timeout,
+        budget=args.budget,
+        store=_batch_store(args),
+        telemetry=telemetry,
+    )
+
+    if args.json:
+        payload = {
+            "winner": outcome.winner.to_dict() if outcome.winner else None,
+            "results": [r.to_dict() for r in outcome.results],
+            "cancelled": outcome.cancelled,
+            "wall_seconds": outcome.wall_seconds,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for result in sorted(outcome.results, key=lambda r: (r.status != "ok", r.writing_time)):
+            marker = "*" if outcome.winner is result else " "
+            detail = (
+                f"T={result.writing_time:.0f}, chars={result.num_selected}, "
+                f"{result.wall_seconds:.2f}s" + (", cache" if result.cache_hit else "")
+                if result.ok
+                else f"{result.status}: {result.error}"
+            )
+            print(f"{marker} {result.label:<12} {detail}")
+        for label in outcome.cancelled:
+            print(f"  {label:<12} cancelled (budget)")
+        if outcome.winner is not None:
+            print(
+                f"winner: {outcome.winner.label} "
+                f"(T={outcome.winner.writing_time:.0f}) in {outcome.wall_seconds:.2f}s"
+            )
+    if outcome.winner is None:
+        print("portfolio: no entrant produced a plan", file=sys.stderr)
+        return 1
+    if args.out:
+        instance = target if not isinstance(target, str) else build_instance(target, scale)
+        save_plan(StencilPlan.from_dict(instance, outcome.winner.plan), args.out)
+        print(f"wrote winning plan to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"store root: {stats['root']} (code version {stats['version']})")
+            print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
+            for version, count in sorted(stats["per_version"].items()):
+                print(f"  {version}: {count}")
+        return 0
+    removed = store.clear(all_versions=args.all_versions)
+    scope = "all versions" if args.all_versions else f"version {store.version}"
+    print(f"removed {removed} cached results ({scope})")
     return 0
 
 
@@ -143,21 +438,28 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "portfolio":
+        return _cmd_portfolio(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "table3":
-        _print_comparison(run_table3(args.cases, args.scale), args.json)
+        _print_comparison(run_table3(args.cases, args.scale, jobs=args.jobs), args.json)
         return 0
     if args.command == "table4":
-        _print_comparison(run_table4(args.cases, args.scale), args.json)
+        _print_comparison(run_table4(args.cases, args.scale, jobs=args.jobs), args.json)
         return 0
     if args.command == "table5":
         comparison = run_table5(
             cases_1d=[c for c in (args.cases or []) if c.startswith("1T")] or None,
             cases_2d=[c for c in (args.cases or []) if c.startswith("2T")] or None,
+            jobs=args.jobs,
         )
         _print_comparison(comparison, args.json)
         return 0
     if args.command == "fig11":
-        comparison = run_fig11_12(args.cases, args.scale)
+        comparison = run_fig11_12(args.cases, args.scale, jobs=args.jobs)
         _print_comparison(comparison, args.json, reference="e-blow-1")
         return 0
     if args.command == "fig5":

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.onedim.row import packed_width
 from repro.model import Character
 
 __all__ = ["RefinedOrder", "refine_row_order"]
@@ -112,4 +113,15 @@ def refine_row_order(
                 )
             )
         solutions = _prune(extended, threshold)
-    return min(solutions, key=lambda s: s.width)
+
+    # The end-insertion family does not contain every permutation, and for
+    # asymmetric blanks it can miss the incoming order's interleaving — so a
+    # "refinement" could otherwise widen the row.  Keep the input order as a
+    # candidate to guarantee the result is never worse than what came in.
+    identity = RefinedOrder(
+        width=packed_width(list(characters)),
+        left_blank=characters[0].blank_left,
+        right_blank=characters[-1].blank_right,
+        order=tuple(ch.name for ch in characters),
+    )
+    return min(solutions + [identity], key=lambda s: s.width)

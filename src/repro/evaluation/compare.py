@@ -90,29 +90,77 @@ def run_comparison(
     cases: Sequence[str] | Sequence[OSPInstance],
     planners: Mapping[str, PlannerFactory],
     scale: float = 1.0,
+    jobs: int = 1,
+    store=None,
+    telemetry=None,
+    timeout: float | None = None,
 ) -> Comparison:
     """Run every planner on every case.
 
     ``cases`` may contain benchmark-case names (resolved through
     :func:`repro.workloads.build_instance` with ``scale``) or pre-built
     :class:`OSPInstance` objects.
+
+    ``planners`` values may be plain factories (legacy, serial-only) or
+    :class:`repro.runtime.PlannerSpec` / registry-name strings.  With
+    ``jobs > 1`` — or a result ``store`` / ``telemetry`` manifest — the grid
+    executes through the batch runtime (:mod:`repro.runtime`), which requires
+    the spec form.  Plans are identical to serial runs provided the planner
+    configs are load-independent: every config here is, except E-BLOW-1's
+    fast-convergence ILP wall-clock cap — pass the ``deterministic`` spec
+    option to drop it (as ``eblow batch`` does by default) when bit-identical
+    results matter more than the paper's capped-solver configuration.
     """
+    if jobs > 1 or store is not None or telemetry is not None:
+        return _run_comparison_pooled(
+            cases, planners, scale=scale, jobs=jobs, store=store,
+            telemetry=telemetry, timeout=timeout,
+        )
+    from repro.runtime.jobs import summarize_instance
+
     comparison = Comparison()
     for case in cases:
         instance = case if isinstance(case, OSPInstance) else build_instance(case, scale)
-        row = ComparisonRow(
-            case=instance.name,
-            instance_summary={
-                "num_characters": instance.num_characters,
-                "num_regions": instance.num_regions,
-                "stencil_width": instance.stencil.width,
-                "stencil_height": instance.stencil.height,
-                "kind": instance.kind,
-            },
-        )
+        row = ComparisonRow(case=instance.name, instance_summary=summarize_instance(instance))
         for name, factory in planners.items():
-            planner = factory()
+            planner = _build_planner(factory, instance.kind)
             plan = planner.plan(instance)
             row.results[name] = result_from_plan(plan, algorithm=name, case=instance.name)
         comparison.rows.append(row)
+    return comparison
+
+
+def _build_planner(factory, kind: str):
+    """Support both legacy factories and runtime planner specs."""
+    from repro.runtime.jobs import PlannerSpec
+
+    if isinstance(factory, PlannerSpec):
+        return factory.build(kind)
+    if isinstance(factory, str):
+        return PlannerSpec(factory).build(kind)
+    return factory()
+
+
+def _run_comparison_pooled(
+    cases, planners, scale, jobs, store, telemetry, timeout
+) -> Comparison:
+    from repro.runtime import grid_jobs, run_jobs
+
+    grid = grid_jobs(cases, planners, scale=scale, timeout=timeout)
+    results = run_jobs(grid, max_workers=max(1, jobs), store=store, telemetry=telemetry)
+
+    comparison = Comparison()
+    row_by_case: dict[str, ComparisonRow] = {}
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"planner {result.label!r} failed on case {result.case!r} "
+                f"({result.status}): {result.error}"
+            )
+        row = row_by_case.get(result.case)
+        if row is None:
+            row = ComparisonRow(case=result.case, instance_summary=dict(result.instance_summary))
+            row_by_case[result.case] = row
+            comparison.rows.append(row)
+        row.results[result.label] = result.to_algorithm_result()
     return comparison

@@ -16,19 +16,9 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.baselines import (
-    ExactILP1DPlanner,
-    ExactILP2DPlanner,
-    ExactILPConfig,
-    Floorplan2DPlanner,
-    Greedy1DPlanner,
-    Greedy2DPlanner,
-    Heuristic1DPlanner,
-    RowStructure1DPlanner,
-)
-from repro.core.onedim import EBlow1DConfig, EBlow1DPlanner
-from repro.core.twodim import EBlow2DPlanner
+from repro.core.onedim import EBlow1DPlanner
 from repro.evaluation import Comparison, run_comparison
+from repro.runtime.jobs import PlannerSpec
 from repro.workloads import (
     SUITE_1D,
     SUITE_1M,
@@ -61,47 +51,48 @@ TABLE5_1D_CASES: tuple[str, ...] = tuple(SUITE_1T)
 TABLE5_2D_CASES: tuple[str, ...] = tuple(SUITE_2T)
 
 
-def planners_table3() -> Mapping[str, object]:
-    """Planner factories for the Table 3 comparison."""
+def planners_table3() -> Mapping[str, PlannerSpec]:
+    """Planner specs for the Table 3 comparison (picklable, pool-ready)."""
     return {
-        "greedy[24]": Greedy1DPlanner,
-        "heur[24]": Heuristic1DPlanner,
-        "rows[25]": RowStructure1DPlanner,
-        "e-blow": EBlow1DPlanner,
+        "greedy[24]": PlannerSpec("greedy-1d"),
+        "heur[24]": PlannerSpec("heur-1d"),
+        "rows[25]": PlannerSpec("rows-1d"),
+        "e-blow": PlannerSpec("eblow-1d"),
     }
 
 
-def planners_table4() -> Mapping[str, object]:
-    """Planner factories for the Table 4 comparison."""
+def planners_table4() -> Mapping[str, PlannerSpec]:
+    """Planner specs for the Table 4 comparison (picklable, pool-ready)."""
     return {
-        "greedy[24]": Greedy2DPlanner,
-        "sa[24]": Floorplan2DPlanner,
-        "e-blow": EBlow2DPlanner,
+        "greedy[24]": PlannerSpec("greedy-2d"),
+        "sa[24]": PlannerSpec("sa-2d"),
+        "e-blow": PlannerSpec("eblow-2d"),
     }
 
 
 def run_table3(
-    cases: Sequence[str] | None = None, scale: float | None = None
+    cases: Sequence[str] | None = None, scale: float | None = None, jobs: int = 1
 ) -> Comparison:
     """Reproduce Table 3 (1DOSP comparison) on the given cases."""
     cases = list(cases) if cases is not None else list(TABLE3_CASES)
     scale = scale if scale is not None else default_scale()
-    return run_comparison(cases, planners_table3(), scale=scale)
+    return run_comparison(cases, planners_table3(), scale=scale, jobs=jobs)
 
 
 def run_table4(
-    cases: Sequence[str] | None = None, scale: float | None = None
+    cases: Sequence[str] | None = None, scale: float | None = None, jobs: int = 1
 ) -> Comparison:
     """Reproduce Table 4 (2DOSP comparison) on the given cases."""
     cases = list(cases) if cases is not None else list(TABLE4_CASES)
     scale = scale if scale is not None else default_scale()
-    return run_comparison(cases, planners_table4(), scale=scale)
+    return run_comparison(cases, planners_table4(), scale=scale, jobs=jobs)
 
 
 def run_table5(
     cases_1d: Sequence[str] | None = None,
     cases_2d: Sequence[str] | None = None,
     time_limit: float = 60.0,
+    jobs: int = 1,
 ) -> Comparison:
     """Reproduce Table 5 (exact ILP vs E-BLOW on tiny instances)."""
     cases_1d = list(cases_1d) if cases_1d is not None else list(TABLE5_1D_CASES)
@@ -111,18 +102,20 @@ def run_table5(
         part = run_comparison(
             cases_1d,
             {
-                "ilp": lambda: ExactILP1DPlanner(ExactILPConfig(time_limit=time_limit)),
-                "e-blow": EBlow1DPlanner,
+                "ilp": PlannerSpec("ilp-1d", {"time_limit": time_limit}),
+                "e-blow": PlannerSpec("eblow-1d"),
             },
+            jobs=jobs,
         )
         comparison.rows.extend(part.rows)
     if cases_2d:
         part = run_comparison(
             cases_2d,
             {
-                "ilp": lambda: ExactILP2DPlanner(ExactILPConfig(time_limit=time_limit)),
-                "e-blow": EBlow2DPlanner,
+                "ilp": PlannerSpec("ilp-2d", {"time_limit": time_limit}),
+                "e-blow": PlannerSpec("eblow-2d"),
             },
+            jobs=jobs,
         )
         comparison.rows.extend(part.rows)
     return comparison
@@ -161,7 +154,7 @@ def run_fig6(
 
 
 def run_fig11_12(
-    cases: Sequence[str] | None = None, scale: float | None = None
+    cases: Sequence[str] | None = None, scale: float | None = None, jobs: int = 1
 ) -> Comparison:
     """Reproduce Figs. 11-12: E-BLOW-0 vs E-BLOW-1 ablation.
 
@@ -172,7 +165,7 @@ def run_fig11_12(
     cases = list(cases) if cases is not None else list(SUITE_1D) + list(SUITE_1M)
     scale = scale if scale is not None else default_scale()
     planners = {
-        "e-blow-0": lambda: EBlow1DPlanner(EBlow1DConfig.ablated()),
-        "e-blow-1": EBlow1DPlanner,
+        "e-blow-0": PlannerSpec("eblow-1d", {"ablated": True}),
+        "e-blow-1": PlannerSpec("eblow-1d"),
     }
-    return run_comparison(cases, planners, scale=scale)
+    return run_comparison(cases, planners, scale=scale, jobs=jobs)

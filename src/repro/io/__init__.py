@@ -1,6 +1,7 @@
 """Serialization helpers (JSON instances, plans, and comparison results)."""
 
 from repro.io.serialization import (
+    canonical_json,
     instance_from_json,
     instance_to_json,
     load_instance,
@@ -8,6 +9,7 @@ from repro.io.serialization import (
     save_comparison,
     save_instance,
     save_plan,
+    write_text_atomic,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "save_comparison",
     "instance_to_json",
     "instance_from_json",
+    "canonical_json",
+    "write_text_atomic",
 ]

@@ -4,11 +4,23 @@ The formats are intentionally simple: plain dictionaries produced by the
 ``to_dict`` methods of the model classes, written with :mod:`json`.  They are
 stable enough to archive benchmark instances and planner outputs alongside
 ``EXPERIMENTS.md``.
+
+Two properties matter to the batch runtime (:mod:`repro.runtime`):
+
+* every ``save_*`` helper creates missing parent directories and writes
+  atomically (temp file in the target directory + :func:`os.replace`), so a
+  crashed or concurrent writer can never leave a truncated file behind;
+* :func:`canonical_json` renders any payload with sorted keys and no
+  whitespace, which is the byte representation the runtime's content hashes
+  (job ids, result-store keys) are computed over.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.evaluation.compare import Comparison
@@ -22,11 +34,51 @@ __all__ = [
     "save_comparison",
     "instance_to_json",
     "instance_from_json",
+    "canonical_json",
+    "write_text_atomic",
 ]
 
 
-def instance_to_json(instance: OSPInstance, indent: int | None = 2) -> str:
-    """Serialize an instance to a JSON string."""
+def canonical_json(data) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace.
+
+    The encoding is deterministic for any tree of plain containers (NumPy
+    scalars are unwrapped, sets/tuples become lists), which makes it suitable
+    as the pre-image of content hashes — two payloads hash equal iff their
+    canonical encodings are byte-identical.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically, creating parent directories.
+
+    The text lands in a temporary file next to ``path`` and is moved into
+    place with :func:`os.replace`, so readers only ever observe the old or
+    the complete new content.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def instance_to_json(instance: OSPInstance, indent: int | None = 2, canonical: bool = False) -> str:
+    """Serialize an instance to a JSON string.
+
+    ``canonical=True`` uses :func:`canonical_json` (and ignores ``indent``),
+    producing the exact bytes the runtime hashes for instance identity.
+    """
+    if canonical:
+        return canonical_json(instance.to_dict())
     return json.dumps(instance.to_dict(), indent=indent)
 
 
@@ -36,10 +88,8 @@ def instance_from_json(text: str) -> OSPInstance:
 
 
 def save_instance(instance: OSPInstance, path: str | Path) -> Path:
-    """Write an instance to ``path`` and return the path."""
-    path = Path(path)
-    path.write_text(instance_to_json(instance))
-    return path
+    """Write an instance to ``path`` (atomically) and return the path."""
+    return write_text_atomic(path, instance_to_json(instance))
 
 
 def load_instance(path: str | Path) -> OSPInstance:
@@ -48,10 +98,8 @@ def load_instance(path: str | Path) -> OSPInstance:
 
 
 def save_plan(plan: StencilPlan, path: str | Path) -> Path:
-    """Write a plan (without its instance) to ``path``."""
-    path = Path(path)
-    path.write_text(json.dumps(plan.to_dict(), indent=2, default=_jsonable))
-    return path
+    """Write a plan (without its instance) to ``path`` atomically."""
+    return write_text_atomic(path, json.dumps(plan.to_dict(), indent=2, default=_jsonable))
 
 
 def load_plan(instance: OSPInstance, path: str | Path) -> StencilPlan:
@@ -60,16 +108,18 @@ def load_plan(instance: OSPInstance, path: str | Path) -> StencilPlan:
 
 
 def save_comparison(comparison: Comparison, path: str | Path) -> Path:
-    """Write a comparison result to ``path``."""
-    path = Path(path)
-    path.write_text(json.dumps(comparison.to_dict(), indent=2, default=_jsonable))
-    return path
+    """Write a comparison result to ``path`` atomically."""
+    return write_text_atomic(path, json.dumps(comparison.to_dict(), indent=2, default=_jsonable))
 
 
 def _jsonable(value):
     """Fallback encoder for NumPy scalars and other simple objects."""
     if hasattr(value, "item"):
         return value.item()
-    if isinstance(value, (set, tuple)):
+    if isinstance(value, (set, frozenset)):
+        # Set iteration order varies with the per-process hash seed; sort so
+        # the canonical encoding (and thus every content hash) is stable.
+        return sorted(value, key=repr)
+    if isinstance(value, tuple):
         return list(value)
     return str(value)

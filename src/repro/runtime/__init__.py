@@ -1,0 +1,56 @@
+"""Batch planning runtime: jobs, process pools, portfolios, caching, telemetry.
+
+This package turns the single-shot planners into a batch-serving engine:
+
+* :mod:`repro.runtime.jobs`      — declarative :class:`PlanJob` specs with
+  deterministic content-hash identities and the shared execution path,
+* :mod:`repro.runtime.pool`      — :class:`PlannerPool`, a process-pool
+  executor with per-job timeouts, retries, and ordered result streaming,
+* :mod:`repro.runtime.engine`    — store-aware batch orchestration
+  (:func:`grid_jobs` / :func:`run_jobs` / :func:`iter_jobs`),
+* :mod:`repro.runtime.portfolio` — racing several planner configs on one
+  instance and keeping the best plan,
+* :mod:`repro.runtime.store`     — on-disk content-addressed result cache,
+* :mod:`repro.runtime.telemetry` — JSONL run manifests.
+"""
+
+from repro.runtime.engine import grid_jobs, iter_jobs, run_jobs
+from repro.runtime.jobs import (
+    JobResult,
+    JobTimeoutError,
+    PlanJob,
+    PlannerSpec,
+    execute_job,
+    list_planners,
+    register_planner,
+    resolve_planner,
+)
+from repro.runtime.pool import PlannerPool, default_workers
+from repro.runtime.portfolio import PortfolioOutcome, portfolio_jobs, run_portfolio
+from repro.runtime.store import ResultStore, code_version, default_cache_dir
+from repro.runtime.telemetry import Telemetry, read_manifest, summarize_manifest
+
+__all__ = [
+    "PlanJob",
+    "PlannerSpec",
+    "JobResult",
+    "JobTimeoutError",
+    "execute_job",
+    "register_planner",
+    "resolve_planner",
+    "list_planners",
+    "PlannerPool",
+    "default_workers",
+    "grid_jobs",
+    "iter_jobs",
+    "run_jobs",
+    "PortfolioOutcome",
+    "portfolio_jobs",
+    "run_portfolio",
+    "ResultStore",
+    "code_version",
+    "default_cache_dir",
+    "Telemetry",
+    "read_manifest",
+    "summarize_manifest",
+]

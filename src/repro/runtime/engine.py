@@ -1,0 +1,105 @@
+"""Batch orchestration: result store → planner pool → telemetry.
+
+This is the high-level entry the CLI and the evaluation layer share:
+
+* :func:`grid_jobs` expands a cases × planners grid into :class:`PlanJob`
+  specs (the same grid ``run_comparison`` used to loop over serially),
+* :func:`iter_jobs` streams results in submission order, serving store hits
+  instantly, dispatching misses to a :class:`~repro.runtime.pool.PlannerPool`,
+  persisting fresh ``ok`` results, and logging every outcome to telemetry,
+* :func:`run_jobs` is the list-returning convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.model import OSPInstance
+from repro.runtime.jobs import JobResult, PlanJob, PlannerSpec
+from repro.runtime.pool import PlannerPool
+from repro.runtime.store import ResultStore
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["grid_jobs", "iter_jobs", "run_jobs"]
+
+
+def _as_spec(value) -> PlannerSpec:
+    if isinstance(value, PlannerSpec):
+        return value
+    if isinstance(value, str):
+        return PlannerSpec(value)
+    raise TypeError(
+        "pooled execution needs picklable planner specs; got "
+        f"{value!r} — pass a PlannerSpec (or registry name) instead of a factory"
+    )
+
+
+def grid_jobs(
+    cases: Sequence[str] | Sequence[OSPInstance],
+    planners: Mapping[str, PlannerSpec | str],
+    scale: float | None = None,
+    timeout: float | None = None,
+) -> list[PlanJob]:
+    """One job per (case, planner) cell, case-major, preserving mapping order."""
+    jobs: list[PlanJob] = []
+    for case in cases:
+        for label, value in planners.items():
+            spec = _as_spec(value)
+            if isinstance(case, OSPInstance):
+                jobs.append(PlanJob(spec=spec, instance=case, timeout=timeout, label=label))
+            else:
+                jobs.append(
+                    PlanJob(spec=spec, case=case, scale=scale, timeout=timeout, label=label)
+                )
+    return jobs
+
+
+def iter_jobs(
+    jobs: Iterable[PlanJob],
+    max_workers: int = 1,
+    retries: int = 0,
+    store: ResultStore | None = None,
+    telemetry: Telemetry | None = None,
+) -> Iterator[JobResult]:
+    """Stream results for ``jobs`` in submission order.
+
+    Store hits never touch the pool; a pool is only spun up if at least one
+    job misses.  Fresh ``ok`` results are persisted before they are yielded,
+    so a consumer that stops early still leaves a warm cache behind.
+    """
+    jobs = list(jobs)
+    hits: dict[int, JobResult] = {}
+    misses: list[tuple[int, PlanJob]] = []
+    for index, job in enumerate(jobs):
+        cached = store.get(job) if store is not None else None
+        if cached is not None:
+            hits[index] = cached
+        else:
+            misses.append((index, job))
+
+    workers = min(max(1, max_workers), max(1, len(misses)))
+    with PlannerPool(max_workers=workers, retries=retries) as pool:
+        miss_results = pool.imap([job for _, job in misses]) if misses else iter(())
+        for index, job in enumerate(jobs):
+            if index in hits:
+                result = hits[index]
+            else:
+                result = next(miss_results)
+                if store is not None:
+                    store.put(job, result)
+            if telemetry is not None:
+                telemetry.record(result)
+            yield result
+
+
+def run_jobs(
+    jobs: Iterable[PlanJob],
+    max_workers: int = 1,
+    retries: int = 0,
+    store: ResultStore | None = None,
+    telemetry: Telemetry | None = None,
+) -> list[JobResult]:
+    """Run all jobs and return results in submission order."""
+    return list(
+        iter_jobs(jobs, max_workers=max_workers, retries=retries, store=store, telemetry=telemetry)
+    )

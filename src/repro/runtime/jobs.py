@@ -1,0 +1,497 @@
+"""Declarative planning jobs and the planner registry.
+
+A :class:`PlanJob` is a self-contained, picklable description of one planner
+run: *what* to plan (a named benchmark case + scale, or an inline
+:class:`~repro.model.OSPInstance`) and *how* (a :class:`PlannerSpec` naming a
+registered planner plus JSON-able options, an optional wall-clock timeout).
+
+Because the description is pure data, it has a deterministic identity:
+``job_id`` is a content hash over the canonical-JSON encoding of the job
+(see :func:`repro.io.canonical_json`).  The same hash split into its
+``instance_hash`` / ``config_hash`` halves keys the on-disk result store
+(:mod:`repro.runtime.store`), so identical work is only ever done once.
+
+:func:`execute_job` is the single execution path shared by the serial CLI,
+the process pool, and portfolio racing — it resolves the instance, builds the
+planner from the registry, enforces the timeout (SIGALRM-based, so a stuck
+planner is interrupted inside the worker instead of orphaning it), and
+condenses the plan into a :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Mapping
+
+from repro.baselines import (
+    ExactILP1DPlanner,
+    ExactILP2DPlanner,
+    ExactILPConfig,
+    Floorplan2DConfig,
+    Floorplan2DPlanner,
+    Greedy1DConfig,
+    Greedy1DPlanner,
+    Greedy2DConfig,
+    Greedy2DPlanner,
+    Heuristic1DConfig,
+    Heuristic1DPlanner,
+    RowStructure1DConfig,
+    RowStructure1DPlanner,
+)
+from repro.errors import ValidationError
+from repro.evaluation.metrics import AlgorithmResult, result_from_plan
+from repro.io.serialization import canonical_json
+from repro.model import OSPInstance, StencilPlan
+
+__all__ = [
+    "PlannerSpec",
+    "PlanJob",
+    "JobResult",
+    "JobTimeoutError",
+    "execute_job",
+    "summarize_instance",
+    "register_planner",
+    "resolve_planner",
+    "list_planners",
+]
+
+
+class JobTimeoutError(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock timeout."""
+
+
+# --------------------------------------------------------------------------- #
+# Planner registry
+# --------------------------------------------------------------------------- #
+
+PlannerBuilder = Callable[[dict], object]
+
+
+@dataclass(frozen=True)
+class _RegistryEntry:
+    builder: PlannerBuilder
+    kind: str | None  # "1D", "2D", or None for kind-agnostic planners
+    description: str
+
+
+_PLANNERS: dict[str, _RegistryEntry] = {}
+
+
+def register_planner(
+    name: str, builder: PlannerBuilder, kind: str | None = None, description: str = ""
+) -> None:
+    """Register a planner builder under ``name``.
+
+    ``builder`` receives the spec's options dict and returns a planner object
+    with a ``plan(instance)`` method.  Registration is process-local; worker
+    processes created with the default (fork) start method inherit it.
+    """
+    _PLANNERS[name.lower()] = _RegistryEntry(builder=builder, kind=kind, description=description)
+
+
+def resolve_planner(name: str, kind: str | None = None) -> str:
+    """Resolve ``name`` to a registry key, honouring kind-suffix shorthand.
+
+    ``resolve_planner("eblow", "2D")`` returns ``"eblow-2d"``: a bare family
+    name dispatches on the instance kind, so the CLI's ``--planner eblow``
+    works for both 1D and 2D instances.
+    """
+    key = name.lower()
+    if key in _PLANNERS:
+        return key
+    if kind is not None:
+        suffixed = f"{key}-{kind.lower()}"
+        if suffixed in _PLANNERS:
+            return suffixed
+    raise ValidationError(
+        f"unknown planner {name!r}"
+        + (f" for kind {kind!r}" if kind else "")
+        + f"; registered planners: {sorted(_PLANNERS)}"
+    )
+
+
+def list_planners() -> dict[str, str]:
+    """Mapping of registered planner names to one-line descriptions."""
+    return {name: entry.description for name, entry in sorted(_PLANNERS.items())}
+
+
+def _take(options: dict, planner: str, allowed: tuple[str, ...]) -> dict:
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        raise ValidationError(
+            f"unknown option(s) {unknown} for planner {planner!r}; allowed: {sorted(allowed)}"
+        )
+    return options
+
+
+def _build_eblow_1d(options: dict):
+    from dataclasses import replace
+
+    from repro.core.onedim import EBlow1DConfig, EBlow1DPlanner
+
+    opts = _take(dict(options), "eblow-1d", ("ablated", "deterministic"))
+    ablated = bool(opts.get("ablated", False))
+    config = EBlow1DConfig.ablated() if ablated else EBlow1DConfig()
+    if opts.get("deterministic"):
+        # The fast-convergence ILP's wall-clock cap is the one load-dependent
+        # knob in the flow; dropping it (the deterministic 2% MIP gap and the
+        # variable cap still bound the solve) makes plans reproducible across
+        # schedulers, which batch serving and the result store rely on.
+        config.convergence = replace(config.convergence, time_limit=None)
+    return EBlow1DPlanner(config)
+
+
+def _build_eblow_2d(options: dict):
+    from repro.core.twodim import EBlow2DConfig, EBlow2DPlanner
+
+    # "deterministic" is accepted for symmetry with eblow-1d; the 2D flow is
+    # already reproducible (seeded annealing, no wall-clock cut-offs).
+    opts = _take(dict(options), "eblow-2d", ("seed", "deterministic"))
+    return EBlow2DPlanner(EBlow2DConfig(seed=int(opts.get("seed", 0))))
+
+
+def _build_ilp(cls, options: dict, name: str):
+    opts = _take(dict(options), name, ("time_limit", "backend"))
+    return cls(
+        ExactILPConfig(
+            time_limit=opts.get("time_limit", 300.0),
+            backend=opts.get("backend", "scipy"),
+        )
+    )
+
+
+register_planner(
+    "greedy-1d",
+    lambda o: Greedy1DPlanner(Greedy1DConfig(**_take(dict(o), "greedy-1d", ("by_density",)))),
+    kind="1D",
+    description="first-fit greedy 1DOSP baseline (Greedy[24])",
+)
+register_planner(
+    "heur-1d",
+    lambda o: Heuristic1DPlanner(
+        Heuristic1DConfig(**_take(dict(o), "heur-1d", ("exchange_passes", "refinement_threshold")))
+    ),
+    kind="1D",
+    description="two-step select-then-pack heuristic (Heur[24])",
+)
+register_planner(
+    "rows-1d",
+    lambda o: RowStructure1DPlanner(
+        RowStructure1DConfig(**_take(dict(o), "rows-1d", ("refinement_threshold",)))
+    ),
+    kind="1D",
+    description="row-structure deterministic 1D baseline ([25]-style)",
+)
+register_planner(
+    "eblow-1d",
+    _build_eblow_1d,
+    kind="1D",
+    description="E-BLOW 1DOSP flow (option ablated=true gives E-BLOW-0)",
+)
+register_planner(
+    "greedy-2d",
+    lambda o: Greedy2DPlanner(Greedy2DConfig(**_take(dict(o), "greedy-2d", ("by_density",)))),
+    kind="2D",
+    description="shelf-packing greedy 2DOSP baseline (Greedy[24])",
+)
+register_planner(
+    "sa-2d",
+    lambda o: Floorplan2DPlanner(
+        Floorplan2DConfig(seed=int(_take(dict(o), "sa-2d", ("seed",)).get("seed", 0)))
+    ),
+    kind="2D",
+    description="plain fixed-outline annealer baseline (SA[24])",
+)
+register_planner(
+    "eblow-2d",
+    _build_eblow_2d,
+    kind="2D",
+    description="E-BLOW 2DOSP flow (pre-filter + clustering + annealing)",
+)
+register_planner(
+    "ilp-1d",
+    lambda o: _build_ilp(ExactILP1DPlanner, o, "ilp-1d"),
+    kind="1D",
+    description="exact 1DOSP ILP (options: time_limit, backend)",
+)
+register_planner(
+    "ilp-2d",
+    lambda o: _build_ilp(ExactILP2DPlanner, o, "ilp-2d"),
+    kind="2D",
+    description="exact 2DOSP ILP (options: time_limit, backend)",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Specs and jobs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PlannerSpec:
+    """A planner choice as pure data: registry name + JSON-able options."""
+
+    planner: str
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+
+    def build(self, kind: str | None = None):
+        """Instantiate the planner (dispatching bare names on ``kind``)."""
+        name = resolve_planner(self.planner, kind)
+        return _PLANNERS[name].builder(dict(self.options))
+
+    def to_dict(self) -> dict:
+        return {"planner": self.planner, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlannerSpec":
+        return cls(planner=data["planner"], options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class PlanJob:
+    """One unit of planning work: an instance reference plus a planner spec.
+
+    Exactly one of ``case`` (a named benchmark case, resolved with ``scale``
+    through :func:`repro.workloads.build_instance`) or ``instance`` (an inline
+    :class:`OSPInstance`) must be given.  ``timeout`` bounds the wall-clock
+    seconds of one execution attempt; it is an infrastructure knob and is
+    deliberately *excluded* from the job identity, so cached results survive
+    timeout-policy changes.
+    """
+
+    spec: PlannerSpec
+    case: str | None = None
+    scale: float | None = None
+    instance: OSPInstance | None = None
+    timeout: float | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.case is None) == (self.instance is None):
+            raise ValidationError("PlanJob needs exactly one of case= or instance=")
+        if self.case is not None and self.scale is None:
+            from repro.workloads import default_scale
+
+            object.__setattr__(self, "scale", default_scale())
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.spec.planner
+
+    @property
+    def case_name(self) -> str:
+        return self.case if self.case is not None else self.instance.name
+
+    def instance_payload(self) -> dict:
+        """JSON-able identity of the planning input."""
+        if self.case is not None:
+            return {"case": self.case, "scale": self.scale}
+        return self.instance.to_dict()
+
+    @cached_property
+    def instance_hash(self) -> str:
+        return _digest(self.instance_payload())
+
+    @cached_property
+    def config_hash(self) -> str:
+        return _digest(self.spec.to_dict())
+
+    @cached_property
+    def job_id(self) -> str:
+        return _digest({"instance": self.instance_hash, "config": self.config_hash})[:16]
+
+    def resolve_instance(self) -> OSPInstance:
+        """Materialise the instance (builds named cases deterministically)."""
+        if self.instance is not None:
+            return self.instance
+        from repro.workloads import build_instance
+
+        return build_instance(self.case, self.scale)
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`PlanJob` execution (or a store hit)."""
+
+    job_id: str
+    case: str
+    label: str
+    planner: str
+    status: str  # "ok" | "error" | "timeout"
+    writing_time: float = 0.0
+    num_selected: int = 0
+    runtime_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+    attempts: int = 1
+    cache_hit: bool = False
+    error: str | None = None
+    plan: dict | None = None
+    instance_summary: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "case": self.case,
+            "label": self.label,
+            "planner": self.planner,
+            "status": self.status,
+            "writing_time": self.writing_time,
+            "num_selected": self.num_selected,
+            "runtime_seconds": self.runtime_seconds,
+            "wall_seconds": self.wall_seconds,
+            "worker_pid": self.worker_pid,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "plan": self.plan,
+            "instance_summary": dict(self.instance_summary),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobResult":
+        return cls(
+            job_id=data["job_id"],
+            case=data["case"],
+            label=data["label"],
+            planner=data["planner"],
+            status=data["status"],
+            writing_time=data.get("writing_time", 0.0),
+            num_selected=data.get("num_selected", 0),
+            runtime_seconds=data.get("runtime_seconds", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            worker_pid=data.get("worker_pid", 0),
+            attempts=data.get("attempts", 1),
+            cache_hit=data.get("cache_hit", False),
+            error=data.get("error"),
+            plan=data.get("plan"),
+            instance_summary=dict(data.get("instance_summary", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def to_algorithm_result(self) -> AlgorithmResult:
+        """Condense into the comparison-table record (see evaluation.metrics)."""
+        return AlgorithmResult(
+            algorithm=self.label,
+            case=self.case,
+            writing_time=self.writing_time,
+            num_selected=self.num_selected,
+            runtime_seconds=self.runtime_seconds,
+            extra=dict(self.extra),
+        )
+
+    def to_plan(self, instance: OSPInstance) -> StencilPlan:
+        """Rebuild the stencil plan against its (re-resolved) instance."""
+        if self.plan is None:
+            raise ValidationError(f"job {self.job_id} carries no plan (status={self.status})")
+        return StencilPlan.from_dict(instance, self.plan)
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`JobTimeoutError` in the current thread after ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms when running in a process's main thread
+    on a POSIX platform — which is exactly where pool workers run their jobs.
+    Elsewhere it degrades to no enforcement rather than failing.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _raise_timeout(signum, frame):
+        raise JobTimeoutError(f"job exceeded {seconds:.3f}s wall-clock timeout")
+
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def summarize_instance(instance: OSPInstance) -> dict:
+    """The 5-key instance summary shared by serial and pooled comparisons."""
+    return {
+        "num_characters": instance.num_characters,
+        "num_regions": instance.num_regions,
+        "stencil_width": instance.stencil.width,
+        "stencil_height": instance.stencil.height,
+        "kind": instance.kind,
+    }
+
+
+def execute_job(job: PlanJob) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Never raises for planner failures or timeouts — those come back as
+    ``status="error"`` / ``status="timeout"`` results, so a pool can report
+    them without tearing down sibling jobs.
+    """
+    start = time.perf_counter()
+    result = JobResult(
+        job_id=job.job_id,
+        case=job.case_name,
+        label=job.display_label,
+        planner=job.spec.planner,
+        status="error",
+        worker_pid=os.getpid(),
+    )
+    try:
+        instance = job.resolve_instance()
+        result.instance_summary = summarize_instance(instance)
+        planner = job.spec.build(instance.kind)
+        with _deadline(job.timeout):
+            plan = planner.plan(instance)
+        condensed = result_from_plan(plan, algorithm=job.display_label, case=instance.name)
+        result.status = "ok"
+        result.writing_time = condensed.writing_time
+        result.num_selected = condensed.num_selected
+        result.runtime_seconds = condensed.runtime_seconds
+        result.extra = dict(condensed.extra)
+        result.plan = plan.to_dict()
+    except JobTimeoutError as exc:
+        result.status = "timeout"
+        result.error = str(exc)
+    except Exception as exc:  # noqa: BLE001 — report, don't kill the batch
+        result.status = "error"
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_seconds = time.perf_counter() - start
+    return result

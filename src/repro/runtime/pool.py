@@ -1,0 +1,191 @@
+"""Process-pool execution of :class:`~repro.runtime.jobs.PlanJob` batches.
+
+:class:`PlannerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with the policies a batch planner needs:
+
+* **per-job timeouts** — enforced *inside* the worker via ``SIGALRM`` (see
+  :func:`repro.runtime.jobs.execute_job`), so a runaway planner is
+  interrupted in place and its worker process is immediately reusable; the
+  parent adds a grace margin on top as a belt-and-braces wait bound.  A
+  worker that blows through even the grace margin (the alarm is deferred
+  while native solver code runs) is reported as timed out and *terminated*
+  at shutdown rather than joined, so shutdown stays bounded,
+* **retries** — failed/timed-out jobs are resubmitted up to ``retries``
+  times (the attempt count is recorded on the result),
+* **ordered streaming** — :meth:`imap` yields results in submission order as
+  soon as each job (and everything before it) finishes, so callers can
+  render progress without waiting for the whole batch,
+* **graceful shutdown** — the context manager cancels queued futures and
+  joins every worker, leaving no orphaned processes behind.
+
+``max_workers=1`` runs jobs inline in the calling process (no pool at all):
+that is the honest serial baseline the throughput benchmark compares
+against, and it keeps tiny batches free of process-spawn overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Iterator, Sequence
+
+from repro.runtime.jobs import JobResult, PlanJob, execute_job
+
+__all__ = ["PlannerPool", "default_workers"]
+
+# Extra seconds the parent waits beyond a job's own timeout before declaring
+# it lost; the in-worker alarm should always fire first.
+_WAIT_GRACE = 10.0
+
+
+def default_workers(limit: int | None = None) -> int:
+    """A sensible worker count: the CPU count, optionally capped."""
+    count = os.cpu_count() or 1
+    return max(1, min(count, limit) if limit else count)
+
+
+def _pool_worker(job: PlanJob) -> JobResult:
+    # Module-level so it pickles under every multiprocessing start method.
+    return execute_job(job)
+
+
+class PlannerPool:
+    """Execute plan jobs across worker processes with retries and timeouts."""
+
+    def __init__(self, max_workers: int = 1, retries: int = 0) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self.retries = max(0, int(retries))
+        self._executor: ProcessPoolExecutor | None = None
+        # Set when a worker blew through its grace wait: its SIGALRM was
+        # deferred by a long-running native call (e.g. a MILP solve), so a
+        # plain join at shutdown could stall until that call returns.
+        self._stuck_worker = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def inline(self) -> bool:
+        """Whether jobs run in the calling process (``max_workers == 1``)."""
+        return self.max_workers == 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def abandon_running(self) -> None:
+        """Mark running workers as abandoned: shutdown will terminate them.
+
+        Used when the caller has given up on in-flight jobs (portfolio budget
+        expiry, unresponsive worker) — joining them would un-bound shutdown.
+        """
+        self._stuck_worker = True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Cancel queued jobs and join the workers (idempotent).
+
+        If a worker is known to be stuck in native code past its timeout,
+        it is terminated instead of joined, so shutdown stays bounded.
+        """
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            if self._stuck_worker:
+                self._stuck_worker = False
+                # _processes is a CPython implementation detail; if it moves,
+                # degrade to a plain (possibly slow) shutdown, never crash.
+                workers = getattr(executor, "_processes", None) or {}
+                for process in list(workers.values()):
+                    try:
+                        process.terminate()
+                    except Exception:  # noqa: BLE001 — already exiting
+                        pass
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "PlannerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Iterable[PlanJob]) -> list[JobResult]:
+        """Run all jobs and return their results in submission order."""
+        return list(self.imap(jobs))
+
+    def imap(self, jobs: Iterable[PlanJob]) -> Iterator[JobResult]:
+        """Yield results in submission order as jobs complete."""
+        jobs = list(jobs)
+        if not jobs:
+            return
+        if self.inline:
+            for job in jobs:
+                yield self._run_with_retries_inline(job)
+            return
+        executor = self._ensure_executor()
+        futures: list[Future] = [executor.submit(_pool_worker, job) for job in jobs]
+        for job, future in zip(jobs, futures):
+            yield self._await(job, future)
+
+    def submit(self, jobs: Sequence[PlanJob]) -> list[Future]:
+        """Low-level: submit jobs and return raw futures (portfolio racing)."""
+        executor = self._ensure_executor()
+        return [executor.submit(_pool_worker, job) for job in jobs]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _run_with_retries_inline(self, job: PlanJob) -> JobResult:
+        attempts = 0
+        while True:
+            attempts += 1
+            result = execute_job(job)
+            result.attempts = attempts
+            if result.ok or attempts > self.retries:
+                return result
+
+    def _wait_bound(self, job: PlanJob) -> float | None:
+        return (job.timeout + _WAIT_GRACE) if job.timeout else None
+
+    def collect(self, job: PlanJob, future: Future) -> JobResult:
+        """Resolve one future into a :class:`JobResult` (no retries)."""
+        try:
+            result = future.result(timeout=self._wait_bound(job))
+        except FutureTimeoutError:
+            future.cancel()
+            self.abandon_running()
+            result = self._failed(job, "timeout", "worker did not respond within the timeout")
+        except CancelledError:
+            result = self._failed(job, "error", "job was cancelled before it ran")
+        except BrokenProcessPool as exc:
+            # The pool is unusable: drop it so a retry gets a fresh one.
+            self.shutdown(wait=False)
+            result = self._failed(job, "error", f"worker pool broke: {exc}")
+        except Exception as exc:  # noqa: BLE001 — unexpected submission failure
+            result = self._failed(job, "error", f"{type(exc).__name__}: {exc}")
+        return result
+
+    def _await(self, job: PlanJob, future: Future) -> JobResult:
+        attempts = 0
+        while True:
+            attempts += 1
+            result = self.collect(job, future)
+            result.attempts = attempts
+            if result.ok or attempts > self.retries:
+                return result
+            future = self._ensure_executor().submit(_pool_worker, job)
+
+    @staticmethod
+    def _failed(job: PlanJob, status: str, message: str) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            case=job.case_name,
+            label=job.display_label,
+            planner=job.spec.planner,
+            status=status,
+            error=message,
+        )

@@ -1,0 +1,167 @@
+"""Portfolio racing: several planner configs compete on one instance.
+
+The paper's planners trade quality for runtime in different regimes (greedy
+is instant, E-BLOW-0 is fast, E-BLOW-1 is best), so for latency-sensitive
+serving the right move is to run a *portfolio* concurrently and keep the
+best plan by writing time.  :func:`run_portfolio`:
+
+* serves store hits first (a cached entrant races for free),
+* submits the remaining entrants to a process pool at once,
+* optionally stops the race ``budget`` seconds after the first finisher
+  (stragglers' futures are cancelled; already-running entrants are bounded
+  by the per-job timeout, which defaults to the budget so no worker runs
+  unattended),
+* picks the minimum-writing-time ``ok`` result, breaking ties by label for
+  determinism, and records every outcome to telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.model import OSPInstance
+from repro.runtime.jobs import JobResult, PlanJob, PlannerSpec, execute_job
+from repro.runtime.pool import PlannerPool, default_workers
+from repro.runtime.store import ResultStore
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["PortfolioOutcome", "portfolio_jobs", "run_portfolio"]
+
+
+@dataclass
+class PortfolioOutcome:
+    """Result of one portfolio race."""
+
+    winner: JobResult | None
+    results: list[JobResult] = field(default_factory=list)
+    cancelled: list[str] = field(default_factory=list)  # labels that never finished
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.winner is not None
+
+
+def portfolio_jobs(
+    instance_or_case: OSPInstance | str,
+    entries: Mapping[str, PlannerSpec | str],
+    scale: float | None = None,
+    timeout: float | None = None,
+) -> list[PlanJob]:
+    """One job per portfolio entrant, all targeting the same instance."""
+    jobs = []
+    for label, value in entries.items():
+        spec = value if isinstance(value, PlannerSpec) else PlannerSpec(str(value))
+        if isinstance(instance_or_case, OSPInstance):
+            jobs.append(PlanJob(spec=spec, instance=instance_or_case, timeout=timeout, label=label))
+        else:
+            jobs.append(
+                PlanJob(
+                    spec=spec, case=instance_or_case, scale=scale, timeout=timeout, label=label
+                )
+            )
+    return jobs
+
+
+def _better(candidate: JobResult, incumbent: JobResult | None) -> bool:
+    if not candidate.ok:
+        return False
+    if incumbent is None:
+        return True
+    return (candidate.writing_time, candidate.label) < (
+        incumbent.writing_time,
+        incumbent.label,
+    )
+
+
+def run_portfolio(
+    instance_or_case: OSPInstance | str,
+    entries: Mapping[str, PlannerSpec | str],
+    scale: float | None = None,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    budget: float | None = None,
+    store: ResultStore | None = None,
+    telemetry: Telemetry | None = None,
+) -> PortfolioOutcome:
+    """Race the ``entries`` on one instance and return the best plan.
+
+    ``budget`` (seconds) caps how long the race keeps waiting after it
+    starts; entrants still pending when it expires are cancelled and listed
+    in :attr:`PortfolioOutcome.cancelled`.
+    """
+    if not entries:
+        raise ValidationError("portfolio needs at least one planner entry")
+    # A budget without per-job timeouts would leave stragglers running
+    # unattended in the workers; bound them by the budget itself.
+    job_timeout = timeout if timeout is not None else budget
+    jobs = portfolio_jobs(instance_or_case, entries, scale=scale, timeout=job_timeout)
+
+    start = time.perf_counter()
+    outcome = PortfolioOutcome(winner=None)
+
+    pending_jobs: list[PlanJob] = []
+    for job in jobs:
+        cached = store.get(job) if store is not None else None
+        if cached is not None:
+            outcome.results.append(cached)
+            if _better(cached, outcome.winner):
+                outcome.winner = cached
+        else:
+            pending_jobs.append(job)
+
+    if pending_jobs:
+        workers = default_workers(max_workers) if max_workers is None else max(1, max_workers)
+        workers = min(workers, len(pending_jobs))
+        with PlannerPool(max_workers=workers) as pool:
+            if pool.inline:
+                # Single worker: no true race — run in order, honouring the budget.
+                for job in pending_jobs:
+                    if budget is not None and time.perf_counter() - start > budget:
+                        outcome.cancelled.append(job.display_label)
+                        continue
+                    result = execute_job(job)
+                    outcome.results.append(result)
+                    if store is not None:
+                        store.put(job, result)
+                    if _better(result, outcome.winner):
+                        outcome.winner = result
+            else:
+                futures = pool.submit(pending_jobs)
+                by_future = dict(zip(futures, pending_jobs))
+                remaining = set(futures)
+                deadline = (start + budget) if budget is not None else None
+                while remaining:
+                    wait_for = None if deadline is None else max(0.0, deadline - time.perf_counter())
+                    done, remaining = wait(remaining, timeout=wait_for, return_when=FIRST_COMPLETED)
+                    if not done:
+                        break  # budget expired
+                    for future in done:
+                        job = by_future[future]
+                        result = pool.collect(job, future)
+                        outcome.results.append(result)
+                        if store is not None:
+                            store.put(job, result)
+                        if _better(result, outcome.winner):
+                            outcome.winner = result
+                for future in remaining:
+                    future.cancel()
+                    outcome.cancelled.append(by_future[future].display_label)
+                if remaining:
+                    # cancel() is a no-op on already-running entrants; have
+                    # shutdown terminate them so the budget truly bounds the
+                    # call instead of waiting out their per-job timeouts.
+                    pool.abandon_running()
+
+    outcome.wall_seconds = time.perf_counter() - start
+    if telemetry is not None:
+        for result in outcome.results:
+            telemetry.record(
+                result,
+                portfolio_winner=(outcome.winner is not None and result is outcome.winner),
+            )
+    return outcome

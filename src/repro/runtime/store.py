@@ -1,0 +1,137 @@
+"""On-disk content-addressed result store for planning jobs.
+
+Results are keyed on three coordinates, all of which must match for a hit:
+
+* ``instance_hash`` — canonical-JSON hash of the planning input (a named
+  case + scale, or the full inline instance dict),
+* ``config_hash``  — hash of the planner spec (name + options),
+* ``code_version`` — the package version plus a content fingerprint of the
+  ``repro`` source tree (overridable with ``REPRO_CACHE_VERSION``), so *any*
+  code change invalidates every cached plan without touching the files —
+  results can never be served stale across planner edits.
+
+Layout (one JSON file per result, written atomically)::
+
+    <root>/<code_version>/<instance_hash[:2]>/<instance_hash>-<config_hash>.json
+
+The default root is ``~/.cache/eblow`` (or ``$REPRO_CACHE_DIR``).  Only
+``status == "ok"`` results are persisted; errors and timeouts always re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from functools import lru_cache
+from pathlib import Path
+
+from repro import __version__
+from repro.io.serialization import canonical_json, write_text_atomic
+from repro.runtime.jobs import JobResult, PlanJob
+
+__all__ = ["ResultStore", "default_cache_dir", "code_version"]
+
+
+@lru_cache(maxsize=1)
+def _source_fingerprint() -> str:
+    """Content hash of the ``repro`` package source (12 hex chars)."""
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+def code_version() -> str:
+    """Cache-namespace version: ``REPRO_CACHE_VERSION``, or version+source hash.
+
+    Fingerprinting the source is deliberately over-aggressive (a docstring
+    edit also invalidates): serving a stale plan silently is the failure mode
+    the store must never have, recomputing a fresh one is merely slower.
+    """
+    override = os.environ.get("REPRO_CACHE_VERSION", "").strip()
+    return override or f"{__version__}+{_source_fingerprint()}"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/eblow``, else ``~/.cache/eblow``."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "eblow"
+
+
+class ResultStore:
+    """Content-addressed cache of :class:`JobResult` records."""
+
+    def __init__(self, root: str | Path | None = None, version: str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version or code_version()
+
+    def path_for(self, job: PlanJob) -> Path:
+        shard = job.instance_hash[:2]
+        return self.root / self.version / shard / f"{job.instance_hash}-{job.config_hash}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def get(self, job: PlanJob) -> JobResult | None:
+        """The cached result for ``job``, marked ``cache_hit=True``, or None."""
+        path = self.path_for(job)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        result = JobResult.from_dict(data)
+        result.cache_hit = True
+        # The stored record carries the label of whoever computed it; rebind
+        # to the requesting job so comparison columns keyed on the label are
+        # correct even when two grids name the same spec differently.
+        result.label = job.display_label
+        result.case = job.case_name
+        return result
+
+    def put(self, job: PlanJob, result: JobResult) -> Path | None:
+        """Persist an ``ok`` result (no-op for errors/timeouts/cache hits)."""
+        if not result.ok or result.cache_hit:
+            return None
+        return write_text_atomic(self.path_for(job), canonical_json(result.to_dict()))
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def _entries(self, all_versions: bool = False) -> list[Path]:
+        base = self.root if all_versions else self.root / self.version
+        if not base.is_dir():
+            return []
+        return sorted(base.rglob("*.json"))
+
+    def stats(self) -> dict:
+        """Entry/byte counts, per cache version."""
+        per_version: dict[str, int] = {}
+        total_bytes = 0
+        for entry in self._entries(all_versions=True):
+            version = entry.relative_to(self.root).parts[0]
+            per_version[version] = per_version.get(version, 0) + 1
+            total_bytes += entry.stat().st_size
+        return {
+            "root": str(self.root),
+            "version": self.version,
+            "entries": sum(per_version.values()),
+            "bytes": total_bytes,
+            "per_version": per_version,
+        }
+
+    def clear(self, all_versions: bool = False) -> int:
+        """Remove cached results (current version only unless told otherwise)."""
+        removed = len(self._entries(all_versions=all_versions))
+        target = self.root if all_versions else self.root / self.version
+        if target.is_dir():
+            shutil.rmtree(target)
+        return removed

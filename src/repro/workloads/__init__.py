@@ -14,9 +14,11 @@ from repro.workloads.suites import (
     SUITE_2D,
     SUITE_2M,
     SUITE_2T,
+    SUITES,
     SuiteCase,
     build_instance,
     default_scale,
+    resolve_cases,
 )
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "SUITE_1T",
     "SUITE_2T",
     "ALL_CASES",
+    "SUITES",
     "build_instance",
     "default_scale",
+    "resolve_cases",
 ]

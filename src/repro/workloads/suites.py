@@ -43,8 +43,10 @@ __all__ = [
     "SUITE_1T",
     "SUITE_2T",
     "ALL_CASES",
+    "SUITES",
     "build_instance",
     "default_scale",
+    "resolve_cases",
 ]
 
 
@@ -147,6 +149,39 @@ SUITE_2T = {
 }
 
 ALL_CASES = {**SUITE_1D, **SUITE_1M, **SUITE_2D, **SUITE_2M, **SUITE_1T, **SUITE_2T}
+
+SUITES = {
+    "1D": SUITE_1D,
+    "1M": SUITE_1M,
+    "2D": SUITE_2D,
+    "2M": SUITE_2M,
+    "1T": SUITE_1T,
+    "2T": SUITE_2T,
+    "all": ALL_CASES,
+}
+
+
+def resolve_cases(tokens) -> list[str]:
+    """Expand a mix of case names and suite names into case names.
+
+    Each token may be a single case (``"1M-3"``) or a whole suite
+    (``"1T"``, ``"all"``); order is preserved and duplicates are dropped.
+    This is what ``eblow batch --cases/--suite`` feeds the job grid with.
+    """
+    names: list[str] = []
+    for token in tokens:
+        if token in SUITES:
+            expansion = list(SUITES[token])
+        elif token in ALL_CASES:
+            expansion = [token]
+        else:
+            raise ValidationError(
+                f"unknown case or suite {token!r}; suites: {sorted(SUITES)}"
+            )
+        for name in expansion:
+            if name not in names:
+                names.append(name)
+    return names
 
 
 def default_scale() -> float:

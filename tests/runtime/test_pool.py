@@ -1,0 +1,160 @@
+"""Pool execution: serial equivalence, streaming order, retries, cleanup."""
+
+import time
+
+import pytest
+
+from repro.evaluation import run_comparison
+from repro.experiments import planners_table3
+from repro.model import StencilPlan
+from repro.runtime import PlanJob, PlannerPool, PlannerSpec, grid_jobs, register_planner, run_jobs
+
+_FLAKY_CALLS = {"count": 0}
+
+
+class _FlakyPlanner:
+    """Fails until the configured attempt number, then succeeds (inline only)."""
+
+    def __init__(self, succeed_on: int) -> None:
+        self.succeed_on = succeed_on
+
+    def plan(self, instance) -> StencilPlan:
+        _FLAKY_CALLS["count"] += 1
+        if _FLAKY_CALLS["count"] < self.succeed_on:
+            raise RuntimeError(f"flaky failure #{_FLAKY_CALLS['count']}")
+        return StencilPlan.empty(instance)
+
+
+register_planner(
+    "test-flaky",
+    lambda options: _FlakyPlanner(int(options.get("succeed_on", 2))),
+    description="test-only planner that fails its first attempts",
+)
+
+register_planner(
+    "test-slow",
+    lambda options: _SlowPlanner(float(options.get("seconds", 1.0))),
+    description="test-only planner that sleeps before planning",
+)
+
+
+class _SlowPlanner:
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def plan(self, instance) -> StencilPlan:
+        time.sleep(self.seconds)
+        return StencilPlan.empty(instance)
+
+
+def _strip_runtime(plan_dict: dict) -> dict:
+    data = dict(plan_dict)
+    data["stats"] = {k: v for k, v in data.get("stats", {}).items() if k != "runtime_seconds"}
+    return data
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize(
+        "cases,planners",
+        [
+            (["1T-1", "1T-2", "1T-3", "1T-4", "1T-5"], None),  # SUITE_1T, Table 3 planners
+            (["2T-1", "2T-2", "2T-3", "2T-4"],
+             {"greedy": PlannerSpec("greedy-2d"), "e-blow": PlannerSpec("eblow-2d")}),
+        ],
+        ids=["suite-1t", "suite-2t"],
+    )
+    def test_pool_results_match_serial_run_comparison(self, cases, planners):
+        planners = planners or planners_table3()
+        serial = run_comparison(cases, planners, scale=1.0)
+        pooled = run_comparison(cases, planners, scale=1.0, jobs=2)
+        assert [r.case for r in pooled.rows] == [r.case for r in serial.rows]
+        for srow, prow in zip(serial.rows, pooled.rows):
+            assert list(prow.results) == list(srow.results)
+            assert prow.instance_summary == srow.instance_summary
+            for name in srow.results:
+                s, p = srow.results[name], prow.results[name]
+                assert p.writing_time == s.writing_time
+                assert p.num_selected == s.num_selected
+                assert p.extra == s.extra
+
+    def test_pool_plans_bit_identical_to_inline(self):
+        jobs = grid_jobs(
+            ["1T-1", "1T-2", "1T-3"],
+            {"e-blow": PlannerSpec("eblow-1d"), "greedy": PlannerSpec("greedy-1d")},
+            scale=1.0,
+        )
+        inline = run_jobs(jobs, max_workers=1)
+        pooled = run_jobs(jobs, max_workers=2)
+        for a, b in zip(inline, pooled):
+            assert a.job_id == b.job_id
+            assert _strip_runtime(a.plan) == _strip_runtime(b.plan)
+            assert a.writing_time == b.writing_time
+
+
+class TestStreaming:
+    def test_imap_yields_in_submission_order(self):
+        jobs = grid_jobs(
+            ["1T-3", "1T-1", "1T-2"], {"e-blow": PlannerSpec("eblow-1d")}, scale=1.0
+        )
+        with PlannerPool(max_workers=2) as pool:
+            seen = [result.case for result in pool.imap(jobs)]
+        assert seen == ["1T-3", "1T-1", "1T-2"]
+
+    def test_empty_batch(self):
+        with PlannerPool(max_workers=2) as pool:
+            assert pool.run([]) == []
+
+
+class TestRetries:
+    def test_inline_retries_until_success(self):
+        _FLAKY_CALLS["count"] = 0
+        job = PlanJob(spec=PlannerSpec("test-flaky", {"succeed_on": 3}), case="1T-1", scale=1.0)
+        with PlannerPool(max_workers=1, retries=3) as pool:
+            [result] = pool.run([job])
+        assert result.ok
+        assert result.attempts == 3
+
+    def test_inline_retries_exhausted(self):
+        _FLAKY_CALLS["count"] = 0
+        job = PlanJob(spec=PlannerSpec("test-flaky", {"succeed_on": 10}), case="1T-1", scale=1.0)
+        with PlannerPool(max_workers=1, retries=1) as pool:
+            [result] = pool.run([job])
+        assert result.status == "error"
+        assert result.attempts == 2
+
+
+class TestCleanup:
+    def test_shutdown_leaves_no_orphaned_workers(self):
+        jobs = grid_jobs(["1T-1", "1T-2"], {"e-blow": PlannerSpec("eblow-1d")}, scale=1.0)
+        pool = PlannerPool(max_workers=2)
+        with pool:
+            results = pool.run(jobs)
+            assert all(r.ok for r in results)
+            workers = list(pool._executor._processes.values())
+            assert workers
+        assert pool._executor is None
+        for process in workers:
+            process.join(timeout=10)
+            assert not process.is_alive()
+
+    def test_timeout_job_does_not_block_the_batch(self):
+        jobs = [
+            PlanJob(
+                spec=PlannerSpec("test-slow", {"seconds": 30.0}),
+                case="1T-1", scale=1.0, timeout=0.3, label="slow",
+            ),
+            PlanJob(spec=PlannerSpec("greedy-1d"), case="1T-2", scale=1.0, label="fast"),
+        ]
+        start = time.perf_counter()
+        pool = PlannerPool(max_workers=2)
+        with pool:
+            results = pool.run(jobs)
+            workers = list(pool._executor._processes.values())
+        elapsed = time.perf_counter() - start
+        assert results[0].status == "timeout"
+        assert results[1].ok
+        # The in-worker alarm must fire: nowhere near the 30s sleep.
+        assert elapsed < 15.0
+        for process in workers:
+            process.join(timeout=10)
+            assert not process.is_alive()

@@ -1,0 +1,105 @@
+"""Portfolio racing: best-by-writing-time winner, budgets, cache interplay."""
+
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import (
+    PlannerSpec,
+    ResultStore,
+    Telemetry,
+    execute_job,
+    register_planner,
+    run_portfolio,
+)
+from repro.runtime.jobs import PlanJob
+
+_1D_ENTRIES = {
+    "greedy": PlannerSpec("greedy-1d"),
+    "rows": PlannerSpec("rows-1d"),
+    "e-blow": PlannerSpec("eblow-1d"),
+}
+
+
+class TestPortfolio:
+    @pytest.mark.parametrize("workers", [1, 3], ids=["inline", "pooled"])
+    def test_winner_is_min_writing_time(self, workers):
+        outcome = run_portfolio("1T-3", _1D_ENTRIES, scale=1.0, max_workers=workers)
+        assert outcome.ok
+        assert len(outcome.results) == 3
+        finished_ok = [r for r in outcome.results if r.ok]
+        best = min(r.writing_time for r in finished_ok)
+        assert outcome.winner.writing_time == best
+        # Cross-check against direct serial runs of each entrant.
+        for label, spec in _1D_ENTRIES.items():
+            direct = execute_job(PlanJob(spec=spec, case="1T-3", scale=1.0, label=label))
+            assert outcome.winner.writing_time <= direct.writing_time
+
+    def test_failed_entrants_do_not_win(self, small_1d_instance):
+        entries = {
+            "bad": PlannerSpec("eblow-2d"),  # wrong kind: errors out
+            "greedy": PlannerSpec("greedy-1d"),
+        }
+        outcome = run_portfolio(small_1d_instance, entries, max_workers=2)
+        assert outcome.ok
+        assert outcome.winner.label == "greedy"
+        statuses = {r.label: r.status for r in outcome.results}
+        assert statuses["bad"] == "error"
+
+    def test_cached_entrant_races_for_free(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_portfolio("1T-1", _1D_ENTRIES, scale=1.0, max_workers=2, store=store)
+        second = run_portfolio("1T-1", _1D_ENTRIES, scale=1.0, max_workers=2, store=store)
+        assert second.ok
+        assert all(r.cache_hit for r in second.results)
+        assert second.winner.writing_time == first.winner.writing_time
+
+    def test_telemetry_marks_the_winner(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "race.jsonl")
+        outcome = run_portfolio(
+            "1T-2", _1D_ENTRIES, scale=1.0, max_workers=2, telemetry=telemetry
+        )
+        winners = [r for r in telemetry.records if r.get("portfolio_winner")]
+        assert len(winners) == 1
+        assert winners[0]["label"] == outcome.winner.label
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValidationError):
+            run_portfolio("1T-1", {}, scale=1.0)
+
+
+class _StallPlanner:
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def plan(self, instance):
+        time.sleep(self.seconds)
+        from repro.model import StencilPlan
+
+        return StencilPlan.empty(instance)
+
+
+register_planner(
+    "test-stall",
+    lambda options: _StallPlanner(float(options.get("seconds", 30.0))),
+    description="test-only planner that stalls (budget tests)",
+)
+
+
+class TestBudget:
+    def test_budget_bounds_the_race_wall_clock(self):
+        entries = {
+            "fast": PlannerSpec("greedy-1d"),
+            "stall": PlannerSpec("test-stall", {"seconds": 60.0}),
+        }
+        start = time.perf_counter()
+        # Explicit long per-job timeout: the stall can only leave the race by
+        # budget-expiry cancellation, never by its own alarm.
+        outcome = run_portfolio(
+            "1T-1", entries, scale=1.0, max_workers=2, timeout=60.0, budget=1.5
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 20.0  # nowhere near the 60s stall
+        assert outcome.ok and outcome.winner.label == "fast"
+        assert "stall" in outcome.cancelled

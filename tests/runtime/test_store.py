@@ -1,0 +1,116 @@
+"""Result store: round trips, invalidation, stats, clearing."""
+
+from repro.runtime import PlanJob, PlannerSpec, ResultStore, execute_job
+
+
+def _job(planner="greedy-1d", options=None, case="1T-1", scale=1.0):
+    return PlanJob(spec=PlannerSpec(planner, options or {}), case=case, scale=scale)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        result = execute_job(job)
+        assert store.get(job) is None
+        store.put(job, result)
+        cached = store.get(job)
+        assert cached is not None
+        assert cached.cache_hit is True
+        assert cached.writing_time == result.writing_time
+        assert cached.plan == result.plan
+        assert cached.job_id == result.job_id
+
+    def test_only_ok_results_are_stored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job(planner="eblow-2d")  # wrong kind: fails
+        result = execute_job(job)
+        assert result.status == "error"
+        assert store.put(job, result) is None
+        assert store.get(job) is None
+
+    def test_cache_hits_are_not_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        store.put(job, execute_job(job))
+        cached = store.get(job)
+        path = store.path_for(job)
+        mtime = path.stat().st_mtime_ns
+        assert store.put(job, cached) is None
+        assert path.stat().st_mtime_ns == mtime
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        store.put(job, execute_job(job))
+        store.path_for(job).write_text("{not json")
+        assert store.get(job) is None
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job(planner="eblow-1d")
+        store.put(job, execute_job(job))
+        assert store.get(job) is not None
+        ablated = _job(planner="eblow-1d", options={"ablated": True})
+        assert store.get(ablated) is None
+
+    def test_instance_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job(case="1T-1")
+        store.put(job, execute_job(job))
+        assert store.get(_job(case="1T-2")) is None
+        assert store.get(_job(case="1T-1", scale=0.5)) is None
+
+    def test_code_version_change_misses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_VERSION", "v-old")
+        old_store = ResultStore(tmp_path)
+        job = _job()
+        old_store.put(job, execute_job(job))
+        assert old_store.get(job) is not None
+
+        monkeypatch.setenv("REPRO_CACHE_VERSION", "v-new")
+        new_store = ResultStore(tmp_path)
+        assert new_store.get(job) is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path, version="v1")
+        for case in ("1T-1", "1T-2"):
+            job = _job(case=case)
+            store.put(job, execute_job(job))
+        other = ResultStore(tmp_path, version="v2")
+        job = _job(case="1T-3")
+        other.put(job, execute_job(job))
+
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["per_version"] == {"v1": 2, "v2": 1}
+
+        assert store.clear() == 2  # only v1
+        assert store.stats()["per_version"] == {"v2": 1}
+        assert other.clear(all_versions=True) == 1
+        assert other.stats()["entries"] == 0
+
+    def test_stats_on_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "nowhere")
+        assert store.stats()["entries"] == 0
+        assert store.clear() == 0
+
+
+class TestLabelRebinding:
+    def test_hit_takes_the_requesting_jobs_label(self, tmp_path):
+        store = ResultStore(tmp_path)
+        writer = PlanJob(
+            spec=PlannerSpec("eblow-1d"), case="1T-1", scale=1.0, label="e-blow"
+        )
+        store.put(writer, execute_job(writer))
+        reader = PlanJob(
+            spec=PlannerSpec("eblow-1d"), case="1T-1", scale=1.0, label="e-blow-1"
+        )
+        cached = store.get(reader)
+        assert cached is not None
+        assert cached.label == "e-blow-1"
+        assert cached.to_algorithm_result().algorithm == "e-blow-1"

@@ -83,3 +83,107 @@ def test_version_flag(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_parser_knows_runtime_commands():
+    parser = build_parser()
+    assert parser.parse_args(["batch", "--suite", "1T"]).command == "batch"
+    assert parser.parse_args(["portfolio", "--case", "1T-1"]).command == "portfolio"
+    assert parser.parse_args(["cache", "stats"]).command == "cache"
+    args = parser.parse_args(["table3", "--jobs", "4"])
+    assert args.jobs == 4
+
+
+def test_plan_with_explicit_planner_and_time_limit(tmp_path, capsys):
+    out = tmp_path / "inst.json"
+    main(["generate", "--case", "1T-2", "--out", str(out)])
+    plan_out = tmp_path / "plan.json"
+    rc = main(
+        [
+            "plan", "--instance", str(out), "--planner", "greedy-1d",
+            "--time-limit", "30", "--out", str(plan_out),
+        ]
+    )
+    assert rc == 0
+    assert "writing time" in capsys.readouterr().out
+    assert plan_out.exists()
+
+
+def test_batch_caches_second_run(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    manifest1 = tmp_path / "m1.jsonl"
+    manifest2 = tmp_path / "m2.jsonl"
+    base = [
+        "batch", "--cases", "1T-1", "1T-2", "--planner", "eblow",
+        "--jobs", "2", "--cache-dir", str(cache),
+    ]
+    rc = main(base + ["--manifest", str(manifest1)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(base + ["--manifest", str(manifest2)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 cache hits / 0 misses" in out
+
+    from repro.runtime import read_manifest, summarize_manifest
+
+    assert summarize_manifest(read_manifest(manifest1))["cache_hits"] == 0
+    assert summarize_manifest(read_manifest(manifest2))["cache_hits"] == 2
+
+
+def test_batch_expands_suites(tmp_path, capsys):
+    rc = main(
+        [
+            "batch", "--suite", "1T", "--planner", "greedy-1d", "--planner", "rows-1d",
+            "--no-cache", "--json",
+        ]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["summary"]["jobs"] == 10  # 5 cases x 2 planners
+    assert data["summary"]["ok"] == 10
+
+
+def test_batch_without_cases_errors(capsys):
+    rc = main(["batch", "--no-cache"])
+    assert rc == 2
+    assert "no cases" in capsys.readouterr().err
+
+
+def test_batch_list_planners(capsys):
+    rc = main(["batch", "--list-planners"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "eblow-1d" in out and "ilp-2d" in out
+
+
+def test_portfolio_cli_picks_a_winner(tmp_path, capsys):
+    plan_out = tmp_path / "win.json"
+    rc = main(
+        [
+            "portfolio", "--case", "1T-1", "--scale", "1.0", "--jobs", "2",
+            "--no-cache", "--out", str(plan_out),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "winner:" in out
+    assert plan_out.exists()
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    main(
+        [
+            "batch", "--cases", "1T-1", "--planner", "greedy-1d",
+            "--cache-dir", str(cache),
+        ]
+    )
+    capsys.readouterr()
+    rc = main(["cache", "stats", "--cache-dir", str(cache), "--json"])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 1
+    rc = main(["cache", "clear", "--cache-dir", str(cache)])
+    assert rc == 0
+    assert "removed 1" in capsys.readouterr().out
