@@ -30,6 +30,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 SUITES = {
     "micro": ["benchmarks/test_substrate_micro.py"],
+    "floorplan": ["benchmarks/test_floorplan_micro.py"],
     "tables": [
         "benchmarks/test_table3_1dosp.py",
         "benchmarks/test_table4_2dosp.py",
@@ -37,6 +38,7 @@ SUITES = {
     "batch": ["benchmarks/test_batch_throughput.py"],
     "default": [
         "benchmarks/test_substrate_micro.py",
+        "benchmarks/test_floorplan_micro.py",
         "benchmarks/test_table3_1dosp.py",
         "benchmarks/test_table4_2dosp.py",
         "benchmarks/test_batch_throughput.py",

@@ -31,9 +31,14 @@ BATCH_PLANNER = {"e-blow-0": PlannerSpec("eblow-1d", {"ablated": True})}
 _serial: dict[float, tuple[float, list]] = {}
 
 
+_WALL_CLOCK_STATS = ("runtime_seconds", "lp_solve_seconds")
+
+
 def _strip_runtime(plan_dict: dict) -> dict:
     data = dict(plan_dict)
-    data["stats"] = {k: v for k, v in data.get("stats", {}).items() if k != "runtime_seconds"}
+    data["stats"] = {
+        k: v for k, v in data.get("stats", {}).items() if k not in _WALL_CLOCK_STATS
+    }
     return data
 
 

@@ -27,6 +27,10 @@ class Floorplan2DConfig:
 
     schedule: AnnealingSchedule | None = None
     seed: int = 0
+    # Annealing engine ("auto" | "incremental" | "copy"); bit-identical
+    # placements and writing times either way (stats record the engine) —
+    # the copy engine is the reference implementation.
+    engine: str = "auto"
 
 
 class Floorplan2DPlanner:
@@ -46,6 +50,7 @@ class Floorplan2DPlanner:
                 use_clustering=False,
                 schedule=self.config.schedule,
                 seed=self.config.seed,
+                engine=self.config.engine,
             )
         )
         plan = inner.plan(instance)

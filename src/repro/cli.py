@@ -81,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="wall-clock seconds for the run (also passed to ILP planners)",
     )
+    plan.add_argument(
+        "--engine",
+        choices=["auto", "copy", "incremental"],
+        default=None,
+        help="annealing engine for the 2D planners (placements, selection, and "
+        "writing time are bit-identical; stats record which engine ran; copy "
+        "is the reference engine, incremental the fast mutate/undo one)",
+    )
     plan.add_argument("--out", default=None)
 
     batch = sub.add_parser("batch", help="run a cases x planners grid through the worker pool")
@@ -183,13 +191,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _planner_options(planner: str, kind: str, time_limit: float | None) -> dict:
+def _planner_options(
+    planner: str,
+    kind: str,
+    time_limit: float | None,
+    engine: str | None = None,
+) -> dict:
     """Options implied by CLI flags (ILP planners also get the time limit)."""
     from repro.runtime import resolve_planner
 
     options: dict = {}
-    if time_limit is not None and resolve_planner(planner, kind).startswith("ilp"):
+    resolved = resolve_planner(planner, kind)
+    if time_limit is not None and resolved.startswith("ilp"):
         options["time_limit"] = time_limit
+    if engine is not None and resolved in ("eblow-2d", "sa-2d"):
+        options["engine"] = engine
     return options
 
 
@@ -199,7 +215,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     instance = load_instance(args.instance)
     try:
-        options = _planner_options(args.planner, instance.kind, args.time_limit)
+        options = _planner_options(
+            args.planner, instance.kind, args.time_limit, getattr(args, "engine", None)
+        )
     except ValidationError as exc:
         print(f"plan: {exc}", file=sys.stderr)
         return 2

@@ -108,6 +108,8 @@ class EBlow1DPlanner:
                 "writing_time": report.total,
                 "num_selected": report.num_selected,
                 "lp_iterations": state.lp_iterations,
+                "lp_solve_seconds": [round(t, 6) for t in state.lp_solve_seconds],
+                "lp_warm_hinted": state.lp_warm_hinted,
                 "unsolved_history": list(state.unsolved_history),
                 "last_lp_values": sorted(state.last_lp_values.values()),
                 "post_swaps": swaps,

@@ -24,6 +24,7 @@ The implementation also records the diagnostics the paper plots:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.kernels import RunningTimes, kernels_of
@@ -51,6 +52,9 @@ class SuccessiveRoundingConfig:
     # Stop early and hand over to fast ILP convergence when an iteration
     # assigns fewer than this many characters (0 disables the early hand-over).
     convergence_trigger: int = 3
+    # Hand the previous iteration's LP solution to the solver as a warm-start
+    # hint (silently ignored where the backend has no use for it).
+    warm_start: bool = True
 
 
 @dataclass
@@ -65,6 +69,10 @@ class RoundingState:
     unsolved_history: list[int] = field(default_factory=list)
     last_lp_values: dict[tuple[int, int], float] = field(default_factory=dict)
     lp_iterations: int = 0
+    # Per-iteration LP solve wall times (seconds) + how many solves carried a
+    # warm-start hint; recorded into plan stats / telemetry manifests.
+    lp_solve_seconds: list[float] = field(default_factory=list)
+    lp_warm_hinted: int = 0
     _times: RunningTimes | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -157,6 +165,7 @@ def successive_rounding(
             instance,
             sorted(state.unsolved),
             [row.capacity - row.body_width for row in state.rows],
+            warm_start=config.warm_start,
         )
 
     for _ in range(config.max_iterations):
@@ -165,15 +174,19 @@ def successive_rounding(
         profits = compute_profits(instance, state.region_times())
         row_capacity = [row.capacity - row.body_width for row in state.rows]
         row_min_blank = [row.max_blank for row in state.rows]
+        solve_start = time.perf_counter()
         if structure is not None:
             values = structure.solve_relaxation(
                 profits, row_capacity, row_min_blank, state.unsolved
             )
+            if structure.last_warm_started:
+                state.lp_warm_hinted += 1
         else:
             values = _solve_iteration_legacy(
                 instance, state, profits, row_capacity, row_min_blank,
                 config.lp_backend,
             )
+        state.lp_solve_seconds.append(time.perf_counter() - solve_start)
         if not values:
             # No unsolved character fits on any row: everything left is rejected.
             state.rejected.update(state.unsolved)

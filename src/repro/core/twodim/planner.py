@@ -42,6 +42,11 @@ class EBlow2DConfig:
     use_prefilter: bool = True
     use_clustering: bool = True
     seed: int = 0
+    # Annealing engine: "auto" (incremental mutate/undo when possible),
+    # "incremental", or "copy" (the reference engine).  Both produce
+    # bit-identical placements and writing times (plan stats record which
+    # engine ran); they differ only in speed.
+    engine: str = "auto"
 
     def resolved_schedule(self, num_blocks: int) -> AnnealingSchedule:
         """The annealing schedule, sized to the number of blocks if not given."""
@@ -108,7 +113,12 @@ class EBlow2DPlanner:
         )
         schedule = config.resolved_schedule(len(blocks))
         initial_pair = _shelf_initial_pair(clusters, instance.stencil.width)
-        result = packer.pack(schedule=schedule, seed=config.seed, initial=initial_pair)
+        result = packer.pack(
+            schedule=schedule,
+            seed=config.seed,
+            initial=initial_pair,
+            engine=config.engine,
+        )
 
         # Stage 4: unfold clusters into per-character placements.
         placements: list[Placement2D] = []
@@ -132,6 +142,11 @@ class EBlow2DPlanner:
                 "num_clusters": len(clusters),
                 "annealing_moves": result.annealing.moves,
                 "annealing_accepted": result.annealing.accepted,
+                "annealing_engine": result.engine,
+                "move_acceptance": {
+                    kind: [stats.proposed, stats.accepted, stats.improved]
+                    for kind, stats in sorted(result.annealing.move_stats.items())
+                },
                 "use_prefilter": config.use_prefilter,
                 "use_clustering": config.use_clustering,
             }

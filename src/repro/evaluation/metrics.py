@@ -68,10 +68,13 @@ def result_from_plan(
             if k
             in (
                 "lp_iterations",
+                "lp_solve_seconds",
+                "lp_warm_hinted",
                 "post_swaps",
                 "post_insertions",
                 "num_clusters",
                 "annealing_moves",
+                "annealing_engine",
                 "optimal",
                 "ilp_binary_variables",
             )

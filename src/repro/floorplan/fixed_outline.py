@@ -24,8 +24,23 @@ from typing import Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
-from repro.floorplan.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
-from repro.floorplan.packing import Block, PackingContext, PackingResult, pack_sequence_pair
+from repro.floorplan.annealing import (
+    AnnealingResult,
+    AnnealingSchedule,
+    simulated_annealing,
+    simulated_annealing_in_place,
+)
+from repro.floorplan.packing import (
+    Block,
+    IncrementalPacker,
+    NullMove,
+    PackingContext,
+    PackingResult,
+    SwapBoth,
+    SwapNegative,
+    SwapPositive,
+    pack_sequence_pair,
+)
 from repro.floorplan.sequence_pair import SequencePair
 
 __all__ = ["FixedOutlineResult", "FixedOutlinePacker", "RegionTimeModel"]
@@ -52,6 +67,7 @@ class FixedOutlineResult:
     pair: SequencePair
     cost: float
     annealing: AnnealingResult
+    engine: str = "copy"
 
 
 class FixedOutlinePacker:
@@ -142,6 +158,11 @@ class FixedOutlinePacker:
         context = self._context
         packed_width = float((x + context.widths).max()) if len(x) else 0.0
         packed_height = float((y + context.heights).max()) if len(y) else 0.0
+        return self._penalized_dims(writing_time, packed_width, packed_height)
+
+    def _penalized_dims(
+        self, writing_time: float, packed_width: float, packed_height: float
+    ) -> float:
         overshoot = max(0.0, packed_width - self.width) + max(
             0.0, packed_height - self.height
         )
@@ -220,6 +241,83 @@ class FixedOutlinePacker:
         return self._penalized(float(times.max()), x, y)
 
     # ------------------------------------------------------------------ #
+    # In-place (mutate/undo) engine
+    # ------------------------------------------------------------------ #
+    def _reset_delta_cache(self) -> None:
+        """Forget cached evaluations from a previous ``pack`` run."""
+        self._base_pair = None
+        self._base_mask = None
+        self._base_times = None
+        self._last_pair = None
+        self._last_mask = None
+        self._last_times = None
+        self._deltas_since_rebase = 0
+
+    def _inplace_cost(self, state: "_InPlaceState") -> float:
+        """Cost of the in-place state's current configuration.
+
+        Mirrors :meth:`cost_of` (first call) and :meth:`delta_cost` (every
+        later call) operation for operation: the same inside-mask, the same
+        entered/left reduction updates against the last *accepted* state, and
+        the same periodic rebase — so a trajectory through this function is
+        bit-identical to the copy engine's.
+        """
+        packer = state.packer
+        mask = packer.inside_mask(self.width, self.height)
+        if self._model_reductions is None:
+            inside = {self._context.names[i] for i in np.nonzero(mask)[0]}
+            writing_time = self.writing_time_of(inside)
+            return self._penalized_dims(writing_time, packer.width, packer.height)
+        if state.base_mask is None:
+            # Initial full evaluation (the copy engine's cost_of path).
+            times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+            state.base_mask = mask
+            state.base_times = times
+            return self._penalized_dims(float(times.max()), packer.width, packer.height)
+        state.promote_pending()
+        changed = mask ^ state.base_mask
+        if not changed.any():
+            times = state.base_times
+        else:
+            entered = mask & changed
+            left = state.base_mask & changed
+            times = state.base_times.copy()
+            if entered.any():
+                times -= self._model_reductions[entered].sum(axis=0)
+            if left.any():
+                times += self._model_reductions[left].sum(axis=0)
+        state.deltas_since_rebase += 1
+        if state.deltas_since_rebase >= self.REBASE_INTERVAL:
+            state.deltas_since_rebase = 0
+            times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+        state.pending_mask = mask
+        state.pending_times = times
+        return self._penalized_dims(float(times.max()), packer.width, packer.height)
+
+    @staticmethod
+    def _propose_swap(state: "_InPlaceState", rng: random.Random):
+        """Uniform swap proposal, RNG-compatible with ``random_neighbor``.
+
+        Only sequence-pair moves are proposed.  The in-place engine snapshots
+        *just* the sequence pair for best-state tracking (the final packing
+        is re-derived from ``self.blocks``), so geometry-mutating packer
+        moves — ``Rotate``, which transposes a block — must not be proposed
+        here; they are for standalone :class:`IncrementalPacker` use.
+        """
+        size = state.packer.size
+        if size < 2:
+            return NullMove()
+        move = rng.randrange(3)
+        i, j = rng.sample(range(size), 2)
+        if move == 0:
+            inner = SwapPositive(i, j)
+        elif move == 1:
+            inner = SwapNegative(i, j)
+        else:
+            inner = SwapBoth(i, j)
+        return _EngineMove(inner)
+
+    # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
     def pack(
@@ -227,26 +325,55 @@ class FixedOutlinePacker:
         schedule: AnnealingSchedule | None = None,
         seed: int = 0,
         initial: SequencePair | None = None,
+        engine: str = "auto",
     ) -> FixedOutlineResult:
         """Run the annealer and return the best packing found.
 
         ``initial`` seeds the search with a known-good sequence pair (e.g. a
         shelf packing); the annealer keeps the best state ever visited, so the
         result is never worse than that starting point.
+
+        ``engine`` selects the search engine: ``"incremental"`` runs the
+        mutate/undo engine over an :class:`IncrementalPacker` (one mutable
+        state, dirty-suffix packing updates, O(changed) cost updates);
+        ``"copy"`` runs the copy-based reference engine.  ``"auto"`` picks
+        the incremental engine whenever there are blocks to pack.  Both
+        engines visit bit-identical states and return bit-identical results
+        (asserted in the test suite); they differ only in speed.
         """
         rng = random.Random(seed)
         names = sorted(self.blocks)
         if initial is None:
             initial = SequencePair.initial(names, rng)
-        use_delta = self._model_reductions is not None and self._context is not None
-        result = simulated_annealing(
-            initial_state=initial,
-            cost=self.cost_of,
-            neighbor=lambda pair, r: pair.random_neighbor(r),
-            schedule=schedule,
-            rng=rng,
-            delta_cost=self.delta_cost if use_delta else None,
-        )
+        if engine not in ("auto", "copy", "incremental"):
+            raise ValueError(f"unknown annealing engine {engine!r}")
+        resolved = engine
+        if resolved == "auto":
+            resolved = "incremental" if self._context is not None else "copy"
+        if resolved == "incremental" and self._context is None:
+            resolved = "copy"
+        self._reset_delta_cache()
+
+        if resolved == "incremental":
+            state = _InPlaceState(IncrementalPacker(self._context, initial))
+            result = simulated_annealing_in_place(
+                state,
+                cost=self._inplace_cost,
+                propose=self._propose_swap,
+                snapshot=lambda s: s.packer.snapshot_pair(),
+                schedule=schedule,
+                rng=rng,
+            )
+        else:
+            use_delta = self._model_reductions is not None and self._context is not None
+            result = simulated_annealing(
+                initial_state=initial,
+                cost=self.cost_of,
+                neighbor=lambda pair, r: pair.random_neighbor(r),
+                schedule=schedule,
+                rng=rng,
+                delta_cost=self.delta_cost if use_delta else None,
+            )
         packing = pack_sequence_pair(result.best_state, self.blocks)
         inside = self.inside_blocks(packing)
         return FixedOutlineResult(
@@ -255,4 +382,52 @@ class FixedOutlinePacker:
             pair=result.best_state,
             cost=result.best_cost,
             annealing=result,
+            engine=resolved,
         )
+
+
+class _InPlaceState:
+    """Mutable search state of the in-place engine.
+
+    Bundles the :class:`IncrementalPacker` with the incremental region-time
+    bookkeeping: ``base_*`` describe the last *accepted* configuration,
+    ``pending_*`` the last evaluated candidate.  The candidate is promoted to
+    base lazily on the next evaluation — mirroring the copy engine's
+    ``_base_for`` promotion — and discarded when the move is reverted.
+    """
+
+    def __init__(self, packer: IncrementalPacker) -> None:
+        self.packer = packer
+        self.base_mask: np.ndarray | None = None
+        self.base_times: np.ndarray | None = None
+        self.pending_mask: np.ndarray | None = None
+        self.pending_times: np.ndarray | None = None
+        self.deltas_since_rebase = 0
+
+    def promote_pending(self) -> None:
+        if self.pending_mask is not None:
+            self.base_mask = self.pending_mask
+            self.base_times = self.pending_times
+            self.pending_mask = None
+            self.pending_times = None
+
+    def discard_pending(self) -> None:
+        self.pending_mask = None
+        self.pending_times = None
+
+
+class _EngineMove:
+    """Adapter: a packer move applied through the annealing state."""
+
+    __slots__ = ("inner", "kind")
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.kind = inner.kind
+
+    def apply(self, state: _InPlaceState) -> None:
+        self.inner.apply(state.packer)
+
+    def revert(self, state: _InPlaceState) -> None:
+        self.inner.revert(state.packer)
+        state.discard_pending()

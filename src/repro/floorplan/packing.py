@@ -21,7 +21,21 @@ import numpy as np
 from repro.floorplan.sequence_pair import SequencePair
 from repro.geometry import Rect
 
-__all__ = ["Block", "PackingResult", "pack_sequence_pair", "PackingContext"]
+__all__ = [
+    "Block",
+    "PackingResult",
+    "pack_sequence_pair",
+    "PackingContext",
+    "IncrementalPacker",
+    "PackerMove",
+    "SwapPositive",
+    "SwapNegative",
+    "SwapBoth",
+    "Rotate",
+    "ShiftNegative",
+    "ShiftPositive",
+    "NullMove",
+]
 
 
 @dataclass(frozen=True)
@@ -121,16 +135,16 @@ class PackingContext:
         n = len(self.names)
         self.widths = np.array([b.width for b in self.blocks], dtype=float)
         self.heights = np.array([b.height for b in self.blocks], dtype=float)
-        blank_right = np.array([b.blank_right for b in self.blocks], dtype=float)
-        blank_left = np.array([b.blank_left for b in self.blocks], dtype=float)
-        blank_top = np.array([b.blank_top for b in self.blocks], dtype=float)
-        blank_bottom = np.array([b.blank_bottom for b in self.blocks], dtype=float)
+        self.blank_right = np.array([b.blank_right for b in self.blocks], dtype=float)
+        self.blank_left = np.array([b.blank_left for b in self.blocks], dtype=float)
+        self.blank_top = np.array([b.blank_top for b in self.blocks], dtype=float)
+        self.blank_bottom = np.array([b.blank_bottom for b in self.blocks], dtype=float)
         # h_edge[a, b] = width(a) - min(blank_right(a), blank_left(b))
         self.h_edge = self.widths[:, None] - np.minimum(
-            blank_right[:, None], blank_left[None, :]
+            self.blank_right[:, None], self.blank_left[None, :]
         )
         self.v_edge = self.heights[:, None] - np.minimum(
-            blank_top[:, None], blank_bottom[None, :]
+            self.blank_top[:, None], self.blank_bottom[None, :]
         )
         self._n = n
 
@@ -192,3 +206,762 @@ class PackingContext:
         result_x[order] = xs
         result_y[order] = ys
         return result_x, result_y
+
+
+# --------------------------------------------------------------------------- #
+# Incremental packing
+# --------------------------------------------------------------------------- #
+
+
+class PackerMove:
+    """Base class for reversible in-place sequence-pair mutations.
+
+    A move is applied to an :class:`IncrementalPacker`; during ``apply`` it
+    stashes the undo checkpoint (the dirty coordinate suffix plus whatever
+    structural bookkeeping the concrete move needs) on itself, so ``revert``
+    restores the packer exactly — bit for bit — to its pre-move state.  The
+    classes satisfy the annealing engine's ``Move`` protocol.
+    """
+
+    kind = "move"
+
+    def __init__(self) -> None:
+        self._checkpoint = None
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        raise NotImplementedError
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        raise NotImplementedError
+
+
+class NullMove(PackerMove):
+    """No-op move (proposed when the block set is too small to perturb)."""
+
+    kind = "none"
+
+    def apply(self, packer) -> None:  # noqa: D102 — trivially nothing
+        pass
+
+    def revert(self, packer) -> None:
+        pass
+
+
+class SwapPositive(PackerMove):
+    """Swap the blocks at two Gamma+ rank positions (Gamma- untouched)."""
+
+    kind = "swap_positive"
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__()
+        self.i, self.j = i, j
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        positions = packer._swap_ranks(self.i, self.j)
+        self._checkpoint = packer._checkpoint(min(positions))
+        packer._after_mutation(min(positions), set(positions))
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        packer._swap_ranks(self.i, self.j)
+        packer._restore(self._checkpoint)
+
+
+class SwapNegative(PackerMove):
+    """Swap the blocks at two Gamma- positions (Gamma+ untouched)."""
+
+    kind = "swap_negative"
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__()
+        self.i, self.j = i, j
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        packer._swap_positions(self.i, self.j)
+        lo = min(self.i, self.j)
+        self._checkpoint = packer._checkpoint(lo)
+        packer._after_mutation(lo, {self.i, self.j})
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        packer._swap_positions(self.i, self.j)
+        packer._restore(self._checkpoint)
+
+
+class SwapBoth(PackerMove):
+    """Swap the blocks at two Gamma+ positions in *both* sequences.
+
+    Mirrors :meth:`SequencePair.swap_both` with the block names taken from
+    Gamma+ positions ``i`` and ``j`` (exactly what ``random_neighbor`` does).
+    """
+
+    kind = "swap_both"
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__()
+        self.i, self.j = i, j
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        positions = packer._swap_ranks(self.i, self.j)
+        packer._swap_positions(*positions)
+        lo = min(positions)
+        self._checkpoint = packer._checkpoint(lo)
+        packer._after_mutation(lo, set(positions))
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        positions = packer._swap_ranks(self.i, self.j)
+        packer._swap_positions(*positions)
+        packer._restore(self._checkpoint)
+
+
+class Rotate(PackerMove):
+    """Transpose one block (width/height and the blank pairs swapped).
+
+    The cached edge-weight row and column of the block's Gamma- position are
+    updated in place from the mutated geometry — no matrix rebuild.  The
+    transformation is an involution, so ``revert`` simply re-applies it.
+    """
+
+    kind = "rotate"
+
+    def __init__(self, block_index: int) -> None:
+        super().__init__()
+        self.block_index = block_index
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        position = packer._rotate_block(self.block_index)
+        self._checkpoint = packer._checkpoint(position)
+        packer._after_mutation(position, {position})
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        packer._rotate_block(self.block_index)
+        packer._restore(self._checkpoint)
+
+
+class ShiftNegative(PackerMove):
+    """Move the block at Gamma- position ``i`` to position ``j``."""
+
+    kind = "shift_negative"
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__()
+        self.i, self.j = i, j
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        lo, hi = min(self.i, self.j), max(self.i, self.j)
+        packer._shift_position(self.i, self.j)
+        self._checkpoint = packer._checkpoint(lo)
+        packer._after_mutation(lo, set(range(lo, hi + 1)))
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        packer._shift_position(self.j, self.i)
+        packer._restore(self._checkpoint)
+
+
+class ShiftPositive(PackerMove):
+    """Move the block at Gamma+ rank ``i`` to rank ``j``."""
+
+    kind = "shift_positive"
+
+    def __init__(self, i: int, j: int) -> None:
+        super().__init__()
+        self.i, self.j = i, j
+
+    def apply(self, packer: "IncrementalPacker") -> None:
+        positions = packer._shift_rank(self.i, self.j)
+        lo = min(positions)
+        self._checkpoint = packer._checkpoint(lo)
+        packer._after_mutation(lo, positions)
+
+    def revert(self, packer: "IncrementalPacker") -> None:
+        packer._shift_rank(self.j, self.i)
+        packer._restore(self._checkpoint)
+
+
+class IncrementalPacker:
+    """Sequence-pair packing under in-place moves with dirty-suffix recompute.
+
+    The copy-based evaluation (:meth:`PackingContext.pack_arrays`) pays the
+    full O(n^2) longest-path DP — plus an O(n^2) edge-matrix gather — for
+    *every* candidate, even though an annealing move perturbs only two
+    sequence positions.  This class keeps the whole evaluation state resident
+    between moves:
+
+    * the Gamma- order, the Gamma+ ranks, and the per-block geometry arrays,
+      all pre-permuted into Gamma- order;
+    * the edge-weight matrices ``H``/``V`` (``H[k, p]`` = horizontal edge
+      from the predecessor at Gamma- position ``p`` into position ``k``),
+      maintained under moves by row/column permutation (swaps/shifts) or
+      in-place row+column refresh (rotations) — never rebuilt per move;
+    * the longest-path values ``xs``/``ys`` and, per position, the
+      *supporting predecessor* (argmax) of each DP value.
+
+    After a move, only positions at or after the earliest mutated Gamma-
+    position can change (*dirty-suffix rule*: a DP step ``k`` only reads
+    positions ``< k``).  Within the suffix, a position is re-evaluated against
+    its full predecessor row only when it was structurally touched or its
+    cached supporting predecessor dropped; otherwise an O(|changed|) scan of
+    the changed predecessors' contributions proves its cached value stable
+    (or raises it in O(1)).  All arithmetic produces the same IEEE-double
+    values as the batch DP — max-folds are exact and the adds are identical —
+    so the maintained coordinates are **bit-identical** to a fresh
+    :meth:`PackingContext.pack` of the same state (asserted by property
+    tests; the dict-based :func:`pack_sequence_pair` differs from both by
+    float-association noise only).
+
+    The hot state is mirrored in plain Python lists (scalar indexing on
+    ndarrays would dominate the suffix scan); the NumPy arrays are kept in
+    lockstep for the vectorized operations (inside-masks, bounding box,
+    checkpoints, long predecessor rows).  Every ``rebase_interval`` applied
+    moves the caches are rebuilt from scratch (mirroring
+    ``RunningTimes.REBASE_INTERVAL``); because permutation and refresh
+    updates are exact this is a safety net, not a correctness requirement.
+    """
+
+    REBASE_INTERVAL = 4096
+    # Predecessor rows shorter than this are folded in pure Python (which
+    # also yields the supporting index for free); longer rows amortize the
+    # NumPy call overhead.
+    _PY_ROW_LIMIT = 80
+
+    def __init__(
+        self,
+        source: "PackingContext | Mapping[str, Block]",
+        pair: SequencePair,
+        rebase_interval: int | None = None,
+    ) -> None:
+        context = source if isinstance(source, PackingContext) else PackingContext(source)
+        self.context = context
+        self.names = context.names
+        n = self._n = context._n
+        if sorted(pair.positive) != self.names:
+            raise ValueError("sequence pair does not match the packing context's blocks")
+        self.rebase_interval = int(rebase_interval or self.REBASE_INTERVAL)
+        self._applies = 0
+
+        # Mutable per-block geometry in canonical (sorted-name) order;
+        # rotations mutate these, everything else treats them as constants.
+        self.widths = context.widths.copy()
+        self.heights = context.heights.copy()
+        self.blank_left = context.blank_left.copy()
+        self.blank_right = context.blank_right.copy()
+        self.blank_top = context.blank_top.copy()
+        self.blank_bottom = context.blank_bottom.copy()
+
+        index = context.index
+        self.by_rank = np.fromiter(
+            (index[name] for name in pair.positive), dtype=np.intp, count=n
+        )
+        self.order = np.fromiter(
+            (index[name] for name in pair.negative), dtype=np.intp, count=n
+        )
+        self.rank_of = np.empty(n, dtype=np.intp)
+        self.rank_of[self.by_rank] = np.arange(n, dtype=np.intp)
+        self.pos_of = np.empty(n, dtype=np.intp)
+        self.pos_of[self.order] = np.arange(n, dtype=np.intp)
+
+        # DP state + scratch buffers (allocated once, reused per move).
+        self.xs = np.zeros(n)
+        self.ys = np.zeros(n)
+        self._buf = np.empty(n)
+        self._maskbuf = np.empty(n, dtype=bool)
+        self._sumbuf = np.empty(n)
+        self.width = 0.0
+        self.height = 0.0
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def snapshot_pair(self) -> SequencePair:
+        """The current sequence pair as an immutable :class:`SequencePair`."""
+        names = self.names
+        return SequencePair(
+            positive=tuple(names[c] for c in self.by_rank),
+            negative=tuple(names[c] for c in self.order),
+        )
+
+    def current_blocks(self) -> dict[str, Block]:
+        """Current block geometry (reflecting applied rotations)."""
+        return {
+            name: Block(
+                name=name,
+                width=float(self.widths[c]),
+                height=float(self.heights[c]),
+                blank_left=float(self.blank_left[c]),
+                blank_right=float(self.blank_right[c]),
+                blank_top=float(self.blank_top[c]),
+                blank_bottom=float(self.blank_bottom[c]),
+            )
+            for c, name in enumerate(self.names)
+        }
+
+    def coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, y)`` arrays in canonical (sorted-name) order."""
+        n = self._n
+        x = np.empty(n)
+        y = np.empty(n)
+        x[self.order] = self.xs
+        y[self.order] = self.ys
+        return x, y
+
+    def pack_result(self) -> PackingResult:
+        """Current packing as a :class:`PackingResult` (dict building is O(n))."""
+        x, y = self.coordinates()
+        return PackingResult(
+            positions={
+                name: (float(x[c]), float(y[c])) for c, name in enumerate(self.names)
+            },
+            width=self.width,
+            height=self.height,
+        )
+
+    def inside_mask(self, outline_width: float, outline_height: float) -> np.ndarray:
+        """Canonical-order mask of blocks entirely inside the outline.
+
+        Element-for-element identical to evaluating the canonical coordinate
+        arrays: the comparisons are computed in Gamma- order and scattered.
+        """
+        n = self._n
+        np.add(self.xs, self.widths_o, out=self._sumbuf)
+        mask_o = self._sumbuf <= outline_width + 1e-9
+        np.add(self.ys, self.heights_o, out=self._sumbuf)
+        mask_o &= self._sumbuf <= outline_height + 1e-9
+        mask = np.empty(n, dtype=bool)
+        mask[self.order] = mask_o
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Structural mutations (shared by the move classes)
+    # ------------------------------------------------------------------ #
+    def _swap_ranks(self, i: int, j: int) -> tuple[int, int]:
+        """Swap Gamma+ ranks ``i`` and ``j``; returns the Gamma- positions."""
+        a, b = self.by_rank[i], self.by_rank[j]
+        self.by_rank[i], self.by_rank[j] = b, a
+        self.rank_of[a], self.rank_of[b] = j, i
+        pa, pb = int(self.pos_of[a]), int(self.pos_of[b])
+        ranks_l = self.ranks_l
+        ranks_l[pa], ranks_l[pb] = ranks_l[pb], ranks_l[pa]
+        self.ranks[pa], self.ranks[pb] = self.ranks[pb], self.ranks[pa]
+        return pa, pb
+
+    def _swap_positions(self, i: int, j: int) -> None:
+        """Swap Gamma- positions ``i`` and ``j`` (occupants + cached rows)."""
+        a, b = self.order[i], self.order[j]
+        self.order[i], self.order[j] = b, a
+        self.pos_of[a], self.pos_of[b] = j, i
+        for arr in (
+            self.ranks,
+            self.widths_o,
+            self.heights_o,
+            self.bl_o,
+            self.br_o,
+            self.bt_o,
+            self.bb_o,
+        ):
+            arr[i], arr[j] = arr[j], arr[i]
+        ranks_l = self.ranks_l
+        ranks_l[i], ranks_l[j] = ranks_l[j], ranks_l[i]
+        swap_buf = self._sumbuf
+        for matrix in (self.H, self.V):
+            # Buffered row/column swaps: three memcpys beat fancy indexing.
+            np.copyto(swap_buf, matrix[i])
+            matrix[i] = matrix[j]
+            matrix[j] = swap_buf
+            np.copyto(swap_buf, matrix[:, i])
+            matrix[:, i] = matrix[:, j]
+            matrix[:, j] = swap_buf
+        for rows in (self.H_l, self.V_l):
+            rows[i], rows[j] = rows[j], rows[i]
+        for row_h, row_v in zip(self.H_l, self.V_l):
+            row_h[i], row_h[j] = row_h[j], row_h[i]
+            row_v[i], row_v[j] = row_v[j], row_v[i]
+        # Column contents only permute across rows under a position swap, so
+        # the per-column upper bounds just exchange.
+        colmax_x, colmax_y = self.colmax_x, self.colmax_y
+        colmax_x[i], colmax_x[j] = colmax_x[j], colmax_x[i]
+        colmax_y[i], colmax_y[j] = colmax_y[j], colmax_y[i]
+
+    def _shift_window(self, i: int, j: int) -> tuple[int, int, np.ndarray]:
+        lo, hi = min(i, j), max(i, j)
+        if i < j:
+            src = np.concatenate(
+                [np.arange(i + 1, j + 1, dtype=np.intp), np.array([i], dtype=np.intp)]
+            )
+        else:
+            src = np.concatenate(
+                [np.array([i], dtype=np.intp), np.arange(j, i, dtype=np.intp)]
+            )
+        return lo, hi, src
+
+    def _shift_position(self, i: int, j: int) -> None:
+        """Move the Gamma- occupant at position ``i`` to position ``j``."""
+        if i == j:
+            return
+        lo, hi, src = self._shift_window(i, j)
+        window = slice(lo, hi + 1)
+        for arr in (
+            self.order,
+            self.ranks,
+            self.widths_o,
+            self.heights_o,
+            self.bl_o,
+            self.br_o,
+            self.bt_o,
+            self.bb_o,
+        ):
+            arr[window] = arr[src]
+        self.pos_of[self.order[window]] = np.arange(lo, hi + 1, dtype=np.intp)
+        idx = np.arange(self._n, dtype=np.intp)
+        idx[window] = src
+        for matrix in (self.H, self.V):
+            matrix[:, :] = matrix[np.ix_(idx, idx)]
+        # Shift moves are rare (optional move types): refresh the list
+        # mirrors wholesale instead of permuting them piecewise.
+        self._refresh_list_mirrors()
+
+    def _shift_rank(self, i: int, j: int) -> set[int]:
+        """Move the Gamma+ occupant at rank ``i`` to rank ``j``.
+
+        Returns the set of Gamma- positions whose rank changed.
+        """
+        if i == j:
+            return {int(self.pos_of[self.by_rank[i]])}
+        lo, hi, src = self._shift_window(i, j)
+        window = slice(lo, hi + 1)
+        self.by_rank[window] = self.by_rank[src]
+        moved = self.by_rank[window]
+        self.rank_of[moved] = np.arange(lo, hi + 1, dtype=np.intp)
+        positions = self.pos_of[moved]
+        self.ranks[positions] = self.rank_of[moved]
+        ranks_l = self.ranks_l
+        for p in positions:
+            ranks_l[p] = int(self.ranks[p])
+        return {int(p) for p in positions}
+
+    def _rotate_block(self, c: int) -> int:
+        """Transpose block ``c``'s geometry; refresh its cached edge row/col.
+
+        Returns the block's Gamma- position.
+        """
+        w, h = self.widths[c], self.heights[c]
+        self.widths[c], self.heights[c] = h, w
+        bl, bb = self.blank_left[c], self.blank_bottom[c]
+        self.blank_left[c], self.blank_bottom[c] = bb, bl
+        br, bt = self.blank_right[c], self.blank_top[c]
+        self.blank_right[c], self.blank_top[c] = bt, br
+        p = int(self.pos_of[c])
+        self.widths_o[p] = self.widths[c]
+        self.heights_o[p] = self.heights[c]
+        self.bl_o[p] = self.blank_left[c]
+        self.br_o[p] = self.blank_right[c]
+        self.bt_o[p] = self.blank_top[c]
+        self.bb_o[p] = self.blank_bottom[c]
+        # Refresh the block's row (it as successor) and column (it as
+        # predecessor) from the same formula the full rebuild uses.
+        H, V = self.H, self.V
+        H[p, :] = self.widths_o - np.minimum(self.br_o, self.bl_o[p])
+        H[:, p] = self.widths_o[p] - np.minimum(self.br_o[p], self.bl_o)
+        V[p, :] = self.heights_o - np.minimum(self.bt_o, self.bb_o[p])
+        V[:, p] = self.heights_o[p] - np.minimum(self.bt_o[p], self.bb_o)
+        self.H_l[p] = H[p].tolist()
+        self.V_l[p] = V[p].tolist()
+        # tolist() keeps the mirrors plain-Python floats (ndarray scalars
+        # would drag NumPy dispatch into the hot propagation loops).
+        h_col = H[:, p].tolist()
+        v_col = V[:, p].tolist()
+        for q, row in enumerate(self.H_l):
+            row[p] = h_col[q]
+        for q, row in enumerate(self.V_l):
+            row[p] = v_col[q]
+        # Keep the column bounds valid: row p's new entries may raise any
+        # column's bound; column p is recomputed exactly.
+        colmax_x, colmax_y = self.colmax_x, self.colmax_y
+        for q, (eh, ev) in enumerate(zip(self.H_l[p], self.V_l[p])):
+            if eh > colmax_x[q]:
+                colmax_x[q] = eh
+            if ev > colmax_y[q]:
+                colmax_y[q] = ev
+        colmax_x[p] = float(H[:, p].max())
+        colmax_y[p] = float(V[:, p].max())
+        return p
+
+    # ------------------------------------------------------------------ #
+    # DP maintenance
+    # ------------------------------------------------------------------ #
+    def _refresh_list_mirrors(self) -> None:
+        self.ranks_l = self.ranks.tolist()
+        self.H_l = [row.tolist() for row in self.H]
+        self.V_l = [row.tolist() for row in self.V]
+        # Per-column upper bounds (colmax[p] >= H[k, p] for every k) feed the
+        # one-compare pruning in the propagation scan.
+        if self._n:
+            self.colmax_x = self.H.max(axis=0).tolist()
+            self.colmax_y = self.V.max(axis=0).tolist()
+        else:
+            self.colmax_x = []
+            self.colmax_y = []
+
+    def _rebuild(self) -> None:
+        """Recompute every cache from the mutable geometry (rebase)."""
+        order = self.order
+        self.ranks = self.rank_of[order].copy()
+        self.widths_o = self.widths[order]
+        self.heights_o = self.heights[order]
+        self.bl_o = self.blank_left[order]
+        self.br_o = self.blank_right[order]
+        self.bt_o = self.blank_top[order]
+        self.bb_o = self.blank_bottom[order]
+        # H[k, p] = width(p) - min(blank_right(p), blank_left(k)); same
+        # element arithmetic as PackingContext.h_edge reindexed into Gamma-
+        # order and transposed.
+        self.H = self.widths_o[None, :] - np.minimum(
+            self.br_o[None, :], self.bl_o[:, None]
+        )
+        self.V = self.heights_o[None, :] - np.minimum(
+            self.bt_o[None, :], self.bb_o[:, None]
+        )
+        self._refresh_list_mirrors()
+        n = self._n
+        self.xs[:] = 0.0
+        self.ys[:] = 0.0
+        self.xs_l = [0.0] * n
+        self.ys_l = [0.0] * n
+        self.xarg_l = [-1] * n
+        self.yarg_l = [-1] * n
+        for k in range(1, n):
+            self._recompute_x(k)
+            self._recompute_y(k)
+        self._update_bbox()
+
+    def _recompute_x(self, k: int) -> bool:
+        """Full predecessor-row DP step for x; returns whether xs[k] changed.
+
+        Short rows fold in pure Python (same IEEE adds, same max — the fold
+        order does not affect exact maxima); long rows use the same NumPy
+        kernel as the batch DP.
+        """
+        ranks_l = self.ranks_l
+        rk = ranks_l[k]
+        best = 0.0
+        arg = -1
+        if k <= self._PY_ROW_LIMIT:
+            xs_l = self.xs_l
+            row = self.H_l[k]
+            for p in range(k):
+                if ranks_l[p] < rk:
+                    cand = xs_l[p] + row[p]
+                    if cand > best:
+                        best = cand
+                        arg = p
+        else:
+            m = self._maskbuf[:k]
+            np.less(self.ranks[:k], self.ranks[k], out=m)
+            b = self._buf[:k]
+            np.add(self.xs[:k], self.H[k, :k], out=b)
+            best = float(np.maximum.reduce(b, where=m, initial=0.0))
+            if best > 0.0:
+                candidates = np.where(m, b, -np.inf)
+                arg = int(candidates.argmax())
+        changed = best != self.xs_l[k]
+        self.xs_l[k] = best
+        self.xs[k] = best
+        self.xarg_l[k] = arg
+        return changed
+
+    def _recompute_y(self, k: int) -> bool:
+        ranks_l = self.ranks_l
+        rk = ranks_l[k]
+        best = 0.0
+        arg = -1
+        if k <= self._PY_ROW_LIMIT:
+            ys_l = self.ys_l
+            row = self.V_l[k]
+            for p in range(k):
+                if ranks_l[p] > rk:
+                    cand = ys_l[p] + row[p]
+                    if cand > best:
+                        best = cand
+                        arg = p
+        else:
+            m = self._maskbuf[:k]
+            np.greater(self.ranks[:k], self.ranks[k], out=m)
+            b = self._buf[:k]
+            np.add(self.ys[:k], self.V[k, :k], out=b)
+            best = float(np.maximum.reduce(b, where=m, initial=0.0))
+            if best > 0.0:
+                candidates = np.where(m, b, -np.inf)
+                arg = int(candidates.argmax())
+        changed = best != self.ys_l[k]
+        self.ys_l[k] = best
+        self.ys[k] = best
+        self.yarg_l[k] = arg
+        return changed
+
+    def _after_mutation(self, dirty: int, structural: set[int]) -> None:
+        """Propagate a structural change through the DP suffix."""
+        self._propagate(dirty, structural)
+        self._applies += 1
+        if self._applies % self.rebase_interval == 0:
+            self._rebuild()
+        else:
+            self._update_bbox()
+
+    def _propagate(self, dirty: int, structural: set[int]) -> None:
+        """Dirty-suffix recompute with changed-set pruning.
+
+        ``structural`` positions had their rank, occupant, or edge weights
+        mutated, so their contribution to any successor may have changed even
+        when their own coordinate did not; they seed both changed sets.  A
+        clean position pays a full predecessor-row re-evaluation only when
+        its cached supporting predecessor was structurally touched or lowered
+        its contribution; an O(|changed|) scan of the changed predecessors
+        resolves raises in O(1).  Most positions are dismissed by a single
+        compare: ``ub`` is an upper bound on any changed predecessor's
+        possible contribution (its value plus its largest outgoing edge), so
+        a position whose coordinate already exceeds ``ub`` — and whose
+        support is untouched — provably cannot move.
+        """
+        from bisect import insort
+
+        n = self._n
+        start = max(dirty, 1)
+        if start >= n:
+            return
+        xs_l, ys_l = self.xs_l, self.ys_l
+        xs_np, ys_np = self.xs, self.ys
+        xarg_l, yarg_l = self.xarg_l, self.yarg_l
+        ranks_l = self.ranks_l
+        H_l, V_l = self.H_l, self.V_l
+        colmax_x, colmax_y = self.colmax_x, self.colmax_y
+        changed_x = set(structural)
+        changed_y = set(structural)
+        list_x = sorted(changed_x)
+        list_y = list(list_x)
+        ub_x = max(xs_l[p] + colmax_x[p] for p in list_x)
+        ub_y = max(ys_l[p] + colmax_y[p] for p in list_y)
+        for k in range(start, n):
+            if k in structural:
+                if self._recompute_x(k):
+                    changed_x.add(k)
+                    insort(list_x, k)
+                    bound = xs_l[k] + colmax_x[k]
+                    if bound > ub_x:
+                        ub_x = bound
+                if self._recompute_y(k):
+                    changed_y.add(k)
+                    insort(list_y, k)
+                    bound = ys_l[k] + colmax_y[k]
+                    if bound > ub_y:
+                        ub_y = bound
+                continue
+            # ---- x ----
+            cur = xs_l[k]
+            support = xarg_l[k]
+            if support in changed_x and (
+                support in structural
+                or xs_l[support] + H_l[k][support] < cur
+            ):
+                # The support's rank/edges changed or its contribution
+                # dropped: the max may now come from anywhere — rescan.
+                if self._recompute_x(k):
+                    changed_x.add(k)
+                    insort(list_x, k)
+                    bound = xs_l[k] + colmax_x[k]
+                    if bound > ub_x:
+                        ub_x = bound
+            elif ub_x > cur:
+                rk = ranks_l[k]
+                row = H_l[k]
+                best = cur
+                arg = -1
+                for p in list_x:
+                    if p >= k:
+                        break
+                    if ranks_l[p] < rk:
+                        cand = xs_l[p] + row[p]
+                        if cand > best:
+                            best = cand
+                            arg = p
+                if arg >= 0:
+                    xs_l[k] = best
+                    xarg_l[k] = arg
+                    xs_np[k] = best
+                    changed_x.add(k)
+                    insort(list_x, k)
+                    bound = best + colmax_x[k]
+                    if bound > ub_x:
+                        ub_x = bound
+            # ---- y ----
+            cur = ys_l[k]
+            support = yarg_l[k]
+            if support in changed_y and (
+                support in structural
+                or ys_l[support] + V_l[k][support] < cur
+            ):
+                if self._recompute_y(k):
+                    changed_y.add(k)
+                    insort(list_y, k)
+                    bound = ys_l[k] + colmax_y[k]
+                    if bound > ub_y:
+                        ub_y = bound
+            elif ub_y > cur:
+                rk = ranks_l[k]
+                row = V_l[k]
+                best = cur
+                arg = -1
+                for p in list_y:
+                    if p >= k:
+                        break
+                    if ranks_l[p] > rk:
+                        cand = ys_l[p] + row[p]
+                        if cand > best:
+                            best = cand
+                            arg = p
+                if arg >= 0:
+                    ys_l[k] = best
+                    yarg_l[k] = arg
+                    ys_np[k] = best
+                    changed_y.add(k)
+                    insort(list_y, k)
+                    bound = best + colmax_y[k]
+                    if bound > ub_y:
+                        ub_y = bound
+
+    def _update_bbox(self) -> None:
+        if self._n == 0:
+            self.width = 0.0
+            self.height = 0.0
+            return
+        np.add(self.xs, self.widths_o, out=self._sumbuf)
+        self.width = float(self._sumbuf.max())
+        np.add(self.ys, self.heights_o, out=self._sumbuf)
+        self.height = float(self._sumbuf.max())
+
+    # ------------------------------------------------------------------ #
+    # Undo support
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self, dirty: int):
+        """Snapshot of everything ``_propagate`` may touch at/after ``dirty``."""
+        return (
+            dirty,
+            self.xs[dirty:].copy(),
+            self.ys[dirty:].copy(),
+            self.xarg_l[dirty:],
+            self.yarg_l[dirty:],
+            self.width,
+            self.height,
+        )
+
+    def _restore(self, checkpoint) -> None:
+        dirty, xs, ys, x_arg, y_arg, width, height = checkpoint
+        self.xs[dirty:] = xs
+        self.ys[dirty:] = ys
+        self.xs_l[dirty:] = xs.tolist()
+        self.ys_l[dirty:] = ys.tolist()
+        self.xarg_l[dirty:] = x_arg
+        self.yarg_l[dirty:] = y_arg
+        self.width = width
+        self.height = height

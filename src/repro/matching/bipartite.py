@@ -6,6 +6,19 @@ inserted character per row).  This module implements the matching substrate
 from scratch as a successive-shortest-augmenting-path assignment algorithm
 (a sparse Kuhn–Munkres / Hungarian variant) and is cross-checked against
 NetworkX in the test suite.
+
+Three interchangeable solvers sit behind :func:`max_weight_matching`:
+
+* ``"numpy"`` (default) — the Hungarian algorithm with the augmenting-path
+  inner loops vectorized over NumPy slack arrays.  Bit-identical to the
+  pure-Python solver (same operations, same tie-breaking), roughly an order
+  of magnitude faster on dense instances.
+* ``"python"`` — the original pure-Python implementation; kept as the
+  reference oracle per the PERFORMANCE.md lockstep rule.
+* ``"scipy"`` — ``scipy.optimize.linear_sum_assignment`` on the padded
+  weight matrix.  Fastest, but ties may be broken differently (the matching
+  *weight* is always identical — asserted in the test suite), so it is an
+  opt-in fast path rather than the default.
 """
 
 from __future__ import annotations
@@ -13,14 +26,19 @@ from __future__ import annotations
 import math
 from typing import Hashable, Mapping, Sequence, TypeVar
 
+import numpy as np
+
 __all__ = ["max_weight_matching", "matching_weight"]
 
 L = TypeVar("L", bound=Hashable)
 R = TypeVar("R", bound=Hashable)
 
+_METHODS = ("numpy", "python", "scipy")
+
 
 def max_weight_matching(
     weights: Mapping[tuple[L, R], float],
+    method: str = "numpy",
 ) -> dict[L, R]:
     """Maximum-weight matching of a bipartite graph given by an edge-weight map.
 
@@ -30,6 +48,10 @@ def max_weight_matching(
         ``{(left, right): weight}``.  Only edges present in the map may be
         matched; weights may be any finite floats.  Edges with non-positive
         weight are allowed but will only be used if they increase the total.
+    method:
+        ``"numpy"`` (default), ``"python"`` (reference implementation), or
+        ``"scipy"`` (``linear_sum_assignment`` fast path; equal weight,
+        possibly different tie-breaking).
 
     Returns
     -------
@@ -38,6 +60,8 @@ def max_weight_matching(
         (maximum *weight*, not maximum cardinality: an edge is only used when
         it improves the objective).
     """
+    if method not in _METHODS:
+        raise ValueError(f"unknown matching method {method!r}; expected one of {_METHODS}")
     if not weights:
         return {}
 
@@ -53,11 +77,16 @@ def max_weight_matching(
     # corresponds to a zero-weight dummy assignment, then run the Hungarian
     # algorithm on costs = (max_weight - weight).
     size = n_left + n_right  # enough dummies so every real vertex can opt out
-    weight_matrix = [[0.0] * size for _ in range(size)]
+    weight_matrix = np.zeros((size, size))
     for (l, r), w in weights.items():
-        weight_matrix[left_index[l]][right_index[r]] = max(w, 0.0)
+        weight_matrix[left_index[l], right_index[r]] = max(w, 0.0)
 
-    assignment = _hungarian_max(weight_matrix)
+    if method == "scipy":
+        assignment = _assignment_scipy(weight_matrix)
+    elif method == "python":
+        assignment = _hungarian_max_scalar([list(row) for row in weight_matrix])
+    else:
+        assignment = _hungarian_max(weight_matrix)
 
     result: dict[L, R] = {}
     for i, j in enumerate(assignment):
@@ -75,13 +104,83 @@ def matching_weight(
     return float(sum(weights[(l, r)] for l, r in matching.items()))
 
 
-def _hungarian_max(weight_matrix: Sequence[Sequence[float]]) -> list[int | None]:
+def _assignment_scipy(weight_matrix: np.ndarray) -> list[int | None]:
+    """``linear_sum_assignment`` fast path (optional; equal total weight)."""
+    try:
+        from scipy.optimize import linear_sum_assignment
+    except ImportError:  # pragma: no cover — scipy is a hard dep elsewhere
+        return _hungarian_max(weight_matrix)
+    rows, cols = linear_sum_assignment(weight_matrix, maximize=True)
+    assignment: list[int | None] = [None] * len(weight_matrix)
+    for i, j in zip(rows, cols):
+        assignment[int(i)] = int(j)
+    return assignment
+
+
+def _hungarian_max(weight_matrix: np.ndarray) -> list[int | None]:
     """Hungarian algorithm maximizing total weight on a square matrix.
 
     Returns ``assignment[row] = column``.  Implementation follows the O(n^3)
     potentials formulation (Jonker–Volgenant style shortest augmenting paths)
-    on the cost matrix ``max - weight``.
+    on the cost matrix ``max - weight``, with the two O(n) inner loops of
+    each augmenting step — the slack (``minv``) update and the potential
+    update — vectorized over NumPy arrays.  Operation-for-operation (and
+    tie-break-for-tie-break: ``argmin`` keeps the first minimum exactly like
+    the scalar scan) identical to :func:`_hungarian_max_scalar`.
     """
+    n = len(weight_matrix)
+    if n == 0:
+        return []
+    w = np.asarray(weight_matrix, dtype=float)
+    cost = w.max() - w
+
+    # Potentials and matching arrays use 1-based indexing internally.
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=int)  # p[j] = row matched to column j
+    way = np.zeros(n + 1, dtype=int)
+    inf = math.inf
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, inf)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            # Slack update over all unused columns at once.
+            cur = cost[i0 - 1] - u[i0] - v[1:]
+            free = ~used[1:]
+            better = free & (cur < minv[1:])
+            if better.any():
+                minv[1:][better] = cur[better]
+                way[1:][better] = j0
+            masked = np.where(free, minv[1:], inf)
+            j1 = int(masked.argmin()) + 1
+            delta = masked[j1 - 1]
+            # Potential update: every used column's matched row is distinct
+            # (they form the alternating tree), so fancy indexing is safe.
+            u[p[used]] += delta
+            v[used] -= delta
+            minv[~used] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = int(way[j0])
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment: list[int | None] = [None] * n
+    for j in range(1, n + 1):
+        if p[j]:
+            assignment[p[j] - 1] = j - 1
+    return assignment
+
+
+def _hungarian_max_scalar(weight_matrix: Sequence[Sequence[float]]) -> list[int | None]:
+    """Pure-Python reference implementation of :func:`_hungarian_max`."""
     n = len(weight_matrix)
     if n == 0:
         return []

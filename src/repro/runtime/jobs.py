@@ -153,8 +153,16 @@ def _build_eblow_2d(options: dict):
 
     # "deterministic" is accepted for symmetry with eblow-1d; the 2D flow is
     # already reproducible (seeded annealing, no wall-clock cut-offs).
-    opts = _take(dict(options), "eblow-2d", ("seed", "deterministic"))
-    return EBlow2DPlanner(EBlow2DConfig(seed=int(opts.get("seed", 0))))
+    # "engine" selects the annealing engine (auto | incremental | copy);
+    # placements and writing times are bit-identical across engines (only
+    # the engine-telemetry stats differ), so it is a pure speed knob.
+    opts = _take(dict(options), "eblow-2d", ("seed", "deterministic", "engine"))
+    return EBlow2DPlanner(
+        EBlow2DConfig(
+            seed=int(opts.get("seed", 0)),
+            engine=str(opts.get("engine", "auto")),
+        )
+    )
 
 
 def _build_ilp(cls, options: dict, name: str):
@@ -201,11 +209,19 @@ register_planner(
     kind="2D",
     description="shelf-packing greedy 2DOSP baseline (Greedy[24])",
 )
+def _build_sa_2d(options: dict):
+    opts = _take(dict(options), "sa-2d", ("seed", "engine"))
+    return Floorplan2DPlanner(
+        Floorplan2DConfig(
+            seed=int(opts.get("seed", 0)),
+            engine=str(opts.get("engine", "auto")),
+        )
+    )
+
+
 register_planner(
     "sa-2d",
-    lambda o: Floorplan2DPlanner(
-        Floorplan2DConfig(seed=int(_take(dict(o), "sa-2d", ("seed",)).get("seed", 0)))
-    ),
+    _build_sa_2d,
     kind="2D",
     description="plain fixed-outline annealer baseline (SA[24])",
 )

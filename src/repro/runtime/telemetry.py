@@ -68,6 +68,9 @@ class Telemetry:
             "worker_pid": result.worker_pid,
             "attempts": result.attempts,
             "error": result.error,
+            # Planner-specific counters (LP iteration solve times, annealing
+            # engine, ...) ride along so manifests carry the full picture.
+            "extra": dict(result.extra),
         }
         entry.update(extra)
         self.records.append(entry)

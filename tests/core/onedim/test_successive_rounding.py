@@ -72,3 +72,24 @@ class TestRounding:
         assert state.assignment
         for row in state.rows:
             assert row.used_width <= row.capacity + 1e-6
+
+
+def test_lp_solve_times_and_warm_start_recorded(small_1d_instance):
+    """Each LP iteration's solve wall time lands in the state telemetry."""
+    state = initial_state(small_1d_instance)
+    successive_rounding(state, SuccessiveRoundingConfig())
+    assert state.lp_iterations >= 1
+    assert len(state.lp_solve_seconds) >= state.lp_iterations
+    assert all(t >= 0.0 for t in state.lp_solve_seconds)
+    assert 0 <= state.lp_warm_hinted <= state.lp_iterations
+
+
+def test_warm_start_solution_identical_to_cold_start(small_1d_instance):
+    """The warm-start hint must never change the rounded result."""
+    warm = initial_state(small_1d_instance)
+    successive_rounding(warm, SuccessiveRoundingConfig(warm_start=True))
+    cold = initial_state(small_1d_instance)
+    successive_rounding(cold, SuccessiveRoundingConfig(warm_start=False))
+    assert warm.assignment == cold.assignment
+    assert warm.unsolved == cold.unsolved
+    assert warm.unsolved_history == cold.unsolved_history

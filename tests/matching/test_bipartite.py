@@ -77,3 +77,47 @@ def test_matches_networkx_total_weight(seed):
     )
     # structural sanity: one-to-one
     assert len(set(matching.values())) == len(matching)
+
+
+def _random_weights(rng, negative=False):
+    weights = {}
+    for left in range(rng.randint(1, 9)):
+        for right in range(rng.randint(1, 9)):
+            if rng.random() < 0.55:
+                low = -3.0 if negative else 0.5
+                weights[(f"c{left}", f"r{right}")] = rng.uniform(low, 10.0)
+    return weights
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_numpy_solver_identical_to_pure_python(seed):
+    """The vectorized Hungarian matcher is bit-identical to the reference."""
+    rng = random.Random(seed)
+    weights = _random_weights(rng, negative=(seed % 3 == 0))
+    if not weights:
+        return
+    assert max_weight_matching(weights, method="numpy") == max_weight_matching(
+        weights, method="python"
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_scipy_fast_path_equal_weight(seed):
+    """linear_sum_assignment may break ties differently but never loses weight."""
+    rng = random.Random(100 + seed)
+    weights = _random_weights(rng)
+    if not weights:
+        return
+    reference = max_weight_matching(weights, method="python")
+    fast = max_weight_matching(weights, method="scipy")
+    assert matching_weight(fast, weights) == pytest.approx(
+        matching_weight(reference, weights), abs=1e-9
+    )
+    # Structural sanity on the fast path: one-to-one, only real edges.
+    assert len(set(fast.values())) == len(fast)
+    assert all(pair in weights for pair in fast.items())
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        max_weight_matching({("a", "b"): 1.0}, method="quantum")

@@ -79,3 +79,20 @@ class TestManifestLifecycle:
         Telemetry(path).record(_result("1T-1"))
         Telemetry(path, append=True).record(_result("1T-2"))
         assert [r["case"] for r in read_manifest(path)] == ["1T-1", "1T-2"]
+
+
+def test_manifest_records_carry_planner_extra_counters(tmp_path):
+    """Per-iteration LP solve times ride into the manifest via ``extra``."""
+    path = tmp_path / "run.jsonl"
+    telemetry = Telemetry(path)
+    result = execute_job(
+        PlanJob(spec=PlannerSpec("eblow-1d"), case="1T-1", scale=1.0)
+    )
+    assert result.ok
+    telemetry.record(result)
+    (record,) = read_manifest(path)
+    extra = record["extra"]
+    assert "lp_solve_seconds" in extra
+    assert len(extra["lp_solve_seconds"]) >= 1
+    assert all(t >= 0.0 for t in extra["lp_solve_seconds"])
+    assert "lp_warm_hinted" in extra
