@@ -48,7 +48,11 @@ def main() -> None:
         assert result.cache_hit
     print(f"  summary: {telemetry.summary()}")
 
-    print("portfolio race on 1M-1 (scaled down)")
+    print("portfolio race on 1M-1 (scaled down, straggler-aware)")
+    # straggler_grace consumes the entrants' PlanEvent streams: once the
+    # first entrant finishes, the rest get 10s of grace, after which any
+    # entrant whose reported incumbent does not beat the winner is cancelled.
+    incumbents = []
     outcome = run_portfolio(
         "1M-1",
         {
@@ -58,11 +62,17 @@ def main() -> None:
         },
         scale=0.05,
         max_workers=3,
+        straggler_grace=10.0,
+        on_event=lambda e: incumbents.append(e) if e.type == "incumbent" else None,
     )
     for result in outcome.results:
         marker = "*" if result is outcome.winner else " "
         print(f"  {marker} {result.label:<8} T={result.writing_time:7.0f} "
               f"({result.wall_seconds:.2f}s)")
+    for label in outcome.cancelled:
+        print(f"    {label:<8} cancelled (straggler)")
+    print(f"  incumbent events observed: {len(incumbents)} "
+          "(1D entrants report none; 2D annealers stream their best-so-far cost)")
     print(f"manifest: {telemetry.path}")
 
 

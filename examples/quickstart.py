@@ -1,7 +1,8 @@
-"""Quickstart: plan a stencil for a small MCC system with E-BLOW.
+"""Quickstart: plan a stencil for a small MCC system with ``repro.plan``.
 
-Generates a synthetic 1DOSP instance with 4 CP regions, runs the E-BLOW 1D
-planner, and prints the resulting throughput improvement.
+Generates a synthetic 1DOSP instance with 4 CP regions, runs the E-BLOW
+planner through the one-call planning façade — streaming its progress
+events as they happen — and prints the resulting throughput improvement.
 
 Run with::
 
@@ -10,12 +11,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import EBlow1DPlanner, evaluate_plan, generate_1d_instance
+import repro
 
 
 def main() -> None:
     # An MCC system with 4 character projections sharing one stencil design.
-    instance = generate_1d_instance(
+    instance = repro.generate_1d_instance(
         num_characters=150,
         num_regions=4,
         seed=42,
@@ -29,17 +30,27 @@ def main() -> None:
     print(f"  stencil              : {instance.stencil.width:.0f} x {instance.stencil.height:.0f} um")
     print(f"  pure-VSB writing time: {max(instance.vsb_times()):.0f} shots")
 
-    planner = EBlow1DPlanner()
-    plan = planner.plan(instance)
-    report = evaluate_plan(plan)
+    # One call: the planner streams PlanEvents (stages, LP solves, rounding
+    # iterations) while it works, and the result carries everything —
+    # metrics, the serialized plan, stats, and the captured event stream.
+    print("\nplanning (live event stream)")
+    result = repro.plan(
+        instance,
+        planner="eblow",  # bare family name: dispatches on the instance kind
+        on_event=lambda event: print("  " + event.describe()),
+    )
+
+    plan = result.plan_object(instance)
+    report = repro.evaluate_plan(plan)
 
     print("\nE-BLOW plan")
-    print(f"  characters on stencil: {report.num_selected}")
-    print(f"  system writing time  : {report.total:.0f} shots")
+    print(f"  characters on stencil: {result.num_selected}")
+    print(f"  system writing time  : {result.writing_time:.0f} shots")
     print(f"  improvement vs VSB   : {report.improvement_ratio:.1%}")
     print(f"  bottleneck region    : w{report.bottleneck_region + 1}")
-    print(f"  runtime              : {plan.stats['runtime_seconds']:.2f} s")
-    print(f"  LP iterations        : {plan.stats['lp_iterations']}")
+    print(f"  runtime              : {result.runtime_seconds:.2f} s")
+    print(f"  LP iterations        : {result.stats['lp_iterations']}")
+    print(f"  events captured      : {result.event_counts()}")
 
     print("\nper-region writing times:")
     for region, time in zip(instance.regions, report.region_times):

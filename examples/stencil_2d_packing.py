@@ -1,8 +1,9 @@
 """2DOSP: pack a stencil with non-uniform characters and draw it as ASCII art.
 
 Runs the E-BLOW 2D flow (pre-filter, KD-tree clustering, fixed-outline
-simulated annealing) on a synthetic 2D instance, compares it against the
-greedy shelf packer, and renders the final stencil occupancy.
+simulated annealing) through the ``repro.plan`` façade on a synthetic 2D
+instance, compares it against the greedy shelf packer, and renders the
+final stencil occupancy.
 
 Run with::
 
@@ -11,9 +12,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import evaluate_plan, generate_2d_instance
-from repro.baselines import Greedy2DPlanner
-from repro.core.twodim import EBlow2DConfig, EBlow2DPlanner
+import repro
+from repro import generate_2d_instance
 
 
 def ascii_stencil(plan, columns: int = 64, rows: int = 24) -> str:
@@ -44,23 +44,24 @@ def main() -> None:
     print(f"instance {instance.name}: {instance.num_characters} candidates, "
           f"stencil {instance.stencil.width:.0f} x {instance.stencil.height:.0f}")
 
-    greedy = Greedy2DPlanner().plan(instance)
-    greedy_report = evaluate_plan(greedy)
+    greedy = repro.plan(instance, planner="greedy-2d")
 
     # The default configuration sizes the annealing schedule from the number
     # of clustered blocks; only the seed is pinned for reproducibility.
-    eblow = EBlow2DPlanner(EBlow2DConfig(seed=11)).plan(instance)
-    eblow_report = evaluate_plan(eblow)
+    # The result's event stream records how the annealer converged.
+    eblow = repro.plan(instance, planner="eblow-2d", seed=11)
+    incumbents = [e for e in eblow.events if e.type == "incumbent"]
 
     print("\n                      greedy shelves   E-BLOW")
-    print(f"characters on stencil {greedy_report.num_selected:>14} {eblow_report.num_selected:>9}")
-    print(f"system writing time   {greedy_report.total:>14.0f} {eblow_report.total:>9.0f}")
-    print(f"runtime (s)           {greedy.stats['runtime_seconds']:>14.2f} "
-          f"{eblow.stats['runtime_seconds']:>9.2f}")
+    print(f"characters on stencil {greedy.num_selected:>14} {eblow.num_selected:>9}")
+    print(f"system writing time   {greedy.writing_time:>14.0f} {eblow.writing_time:>9.0f}")
+    print(f"runtime (s)           {greedy.runtime_seconds:>14.2f} "
+          f"{eblow.runtime_seconds:>9.2f}")
     print(f"clusters formed       {'-':>14} {eblow.stats['num_clusters']:>9}")
+    print(f"incumbent updates     {'-':>14} {len(incumbents):>9}")
 
     print("\nE-BLOW stencil occupancy (each '#' is occupied area):")
-    print(ascii_stencil(eblow))
+    print(ascii_stencil(eblow.plan_object(instance)))
 
 
 if __name__ == "__main__":

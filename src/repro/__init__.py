@@ -30,7 +30,7 @@ from repro.model import (
     system_writing_time,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Character",
@@ -48,27 +48,40 @@ __all__ = [
     "EBlow2DPlanner",
     "generate_1d_instance",
     "generate_2d_instance",
+    # The unified planning API (see repro.api for the full surface).
+    "plan",
+    "PlanRequest",
+    "PlanResult",
+    "PlanEvent",
+    "list_planners",
     "__version__",
 ]
 
+# Lazily resolved top-level attributes: planners/generators plus the façade
+# surface of :mod:`repro.api`.  Lazy imports keep ``import repro`` cheap and
+# avoid import cycles.
+_LAZY_ATTRS = {
+    "EBlow1DPlanner": ("repro.core.onedim.planner", "EBlow1DPlanner"),
+    "EBlow2DPlanner": ("repro.core.twodim.planner", "EBlow2DPlanner"),
+    "generate_1d_instance": ("repro.workloads.generator", "generate_1d_instance"),
+    "generate_2d_instance": ("repro.workloads.generator", "generate_2d_instance"),
+    "plan": ("repro.api", "plan"),
+    "PlanRequest": ("repro.api", "PlanRequest"),
+    "PlanResult": ("repro.api", "PlanResult"),
+    "PlanEvent": ("repro.api", "PlanEvent"),
+    "list_planners": ("repro.api", "list_planners"),
+    # attr None: the attribute is the module itself
+    # (`import repro; repro.api.<...>` without an extra import).
+    "api": ("repro.api", None),
+}
+
 
 def __getattr__(name):
-    # Lazy imports keep ``import repro`` cheap and avoid import cycles while
-    # still exposing the main planners and generators at the top level.
-    if name == "EBlow1DPlanner":
-        from repro.core.onedim.planner import EBlow1DPlanner
+    target = _LAZY_ATTRS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
 
-        return EBlow1DPlanner
-    if name == "EBlow2DPlanner":
-        from repro.core.twodim.planner import EBlow2DPlanner
-
-        return EBlow2DPlanner
-    if name == "generate_1d_instance":
-        from repro.workloads.generator import generate_1d_instance
-
-        return generate_1d_instance
-    if name == "generate_2d_instance":
-        from repro.workloads.generator import generate_2d_instance
-
-        return generate_2d_instance
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module_name, attr = target
+    module = importlib.import_module(module_name)
+    return module if attr is None else getattr(module, attr)

@@ -1,0 +1,343 @@
+"""The typed plan lifecycle: ``PlanRequest → PlanResult``.
+
+One request model and one result model unify what used to be three
+overlapping shapes — the evaluation layer's ``AlgorithmResult``, the batch
+runtime's ``JobResult``, and the per-planner ``plan.stats`` dicts:
+
+* :class:`PlanRequest` is the serializable description of one planning run
+  (what + how + bounds).  It converts losslessly to the batch runtime's
+  :class:`~repro.runtime.jobs.PlanJob`, so its content-hash identity — and
+  therefore the content-addressed result store — is exactly the pre-façade
+  one: no cached plan is invalidated by the API layer.
+* :class:`PlanResult` carries everything any consumer needs: the paper's
+  three comparison columns, execution provenance (worker pid, attempts,
+  cache hit), the full serialized plan, the planner's telemetry ``extra``,
+  and the :class:`~repro.events.PlanEvent` stream captured during the run.
+
+Both round-trip through ``to_dict`` / ``from_dict`` (canonical-JSON-able),
+which is the wire format for manifests, stores, and service deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError, ValidationError
+from repro.events import PlanEvent
+
+__all__ = ["PlanRequest", "PlanResult", "PlanningError"]
+
+
+class PlanningError(ReproError):
+    """A façade planning call failed (carries the failed :class:`PlanResult`).
+
+    Derives from the neutral :class:`~repro.errors.ReproError`, not
+    :class:`~repro.errors.ValidationError`: a planner timeout or solver
+    crash must not be swallowed by handlers written for bad input.
+    """
+
+    def __init__(self, message: str, result: "PlanResult | None" = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A planning run as pure data.
+
+    Exactly one of ``case`` (a named benchmark case, resolved with ``scale``)
+    or ``instance`` (an inline :class:`~repro.model.OSPInstance`) must be
+    given.  ``options`` are validated against the planner's declared
+    :class:`~repro.api.registry.OptionSchema` when the request is built.
+    """
+
+    planner: str
+    options: Mapping[str, object] = field(default_factory=dict)
+    case: str | None = None
+    scale: float | None = None
+    instance: object | None = None  # repro.model.OSPInstance
+    timeout: float | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+        if (self.case is None) == (self.instance is None):
+            raise ValidationError("PlanRequest needs exactly one of case= or instance=")
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_job(self):
+        """The batch-runtime job with the identical content-hash identity.
+
+        The job (itself frozen, with cached content hashes) is memoised on
+        the request, so reading ``job_id`` / ``instance_hash`` /
+        ``config_hash`` back-to-back serializes the instance once, not once
+        per property.
+        """
+        job = self.__dict__.get("_job")
+        if job is None:
+            from repro.runtime.jobs import PlanJob, PlannerSpec
+
+            job = PlanJob(
+                spec=PlannerSpec(self.planner, dict(self.options)),
+                case=self.case,
+                scale=self.scale,
+                instance=self.instance,
+                timeout=self.timeout,
+                label=self.label,
+            )
+            self.__dict__["_job"] = job
+        return job
+
+    @classmethod
+    def from_job(cls, job) -> "PlanRequest":
+        """Lift a :class:`~repro.runtime.jobs.PlanJob` into the API model."""
+        return cls(
+            planner=job.spec.planner,
+            options=dict(job.spec.options),
+            case=job.case,
+            scale=job.scale,
+            instance=job.instance,
+            timeout=job.timeout,
+            label=job.label,
+        )
+
+    # Identity proxies (same hashes as the underlying PlanJob). ----------- #
+    @property
+    def job_id(self) -> str:
+        return self.to_job().job_id
+
+    @property
+    def instance_hash(self) -> str:
+        return self.to_job().instance_hash
+
+    @property
+    def config_hash(self) -> str:
+        return self.to_job().config_hash
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.planner
+
+    def validated(self) -> "PlanRequest":
+        """Check options against the planner's schema; return self."""
+        from repro.api.facade import _case_kind
+        from repro.api.registry import get_handle
+
+        kind = self.instance.kind if self.instance is not None else _case_kind(self.case)
+        get_handle(self.planner, kind).validate_options(self.options)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        data: dict = {
+            "planner": self.planner,
+            "options": dict(self.options),
+            "timeout": self.timeout,
+            "label": self.label,
+        }
+        if self.case is not None:
+            data["case"] = self.case
+            data["scale"] = self.scale
+        else:
+            data["instance"] = self.instance.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanRequest":
+        instance = None
+        if data.get("instance") is not None:
+            from repro.model import OSPInstance
+
+            instance = OSPInstance.from_dict(data["instance"])
+        return cls(
+            planner=data["planner"],
+            options=dict(data.get("options", {})),
+            case=data.get("case"),
+            scale=data.get("scale"),
+            instance=instance,
+            timeout=data.get("timeout"),
+            label=data.get("label"),
+        )
+
+
+@dataclass
+class PlanResult:
+    """The unified outcome of one planning run.
+
+    Supersedes the trio of ``AlgorithmResult`` (comparison columns),
+    ``JobResult`` (execution provenance), and raw ``plan.stats`` dicts;
+    conversion methods to the legacy shapes keep old consumers working.
+    """
+
+    # Identity
+    job_id: str
+    case: str
+    label: str
+    planner: str
+    # Outcome
+    status: str  # "ok" | "error" | "timeout"
+    error: str | None = None
+    # The paper's comparison columns
+    writing_time: float = 0.0
+    num_selected: int = 0
+    runtime_seconds: float = 0.0
+    # Execution provenance
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+    attempts: int = 1
+    cache_hit: bool = False
+    timeout: float | None = None
+    # Artifacts
+    plan: dict | None = None
+    instance_summary: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    events: list[PlanEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def stats(self) -> dict:
+        """The planner's full ``plan.stats`` dict (empty when no plan)."""
+        if self.plan is None:
+            return {}
+        return dict(self.plan.get("stats", {}))
+
+    def event_counts(self) -> dict[str, int]:
+        """How many events of each type the run emitted."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "case": self.case,
+            "label": self.label,
+            "planner": self.planner,
+            "status": self.status,
+            "error": self.error,
+            "writing_time": self.writing_time,
+            "num_selected": self.num_selected,
+            "runtime_seconds": self.runtime_seconds,
+            "wall_seconds": self.wall_seconds,
+            "worker_pid": self.worker_pid,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "timeout": self.timeout,
+            "plan": self.plan,
+            "instance_summary": dict(self.instance_summary),
+            "extra": dict(self.extra),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanResult":
+        return cls(
+            job_id=data["job_id"],
+            case=data["case"],
+            label=data["label"],
+            planner=data["planner"],
+            status=data["status"],
+            error=data.get("error"),
+            writing_time=data.get("writing_time", 0.0),
+            num_selected=data.get("num_selected", 0),
+            runtime_seconds=data.get("runtime_seconds", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            worker_pid=data.get("worker_pid", 0),
+            attempts=data.get("attempts", 1),
+            cache_hit=data.get("cache_hit", False),
+            timeout=data.get("timeout"),
+            plan=data.get("plan"),
+            instance_summary=dict(data.get("instance_summary", {})),
+            extra=dict(data.get("extra", {})),
+            events=[PlanEvent.from_dict(e) for e in data.get("events", ())],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_job_result(
+        cls,
+        result,
+        events: Sequence[PlanEvent] = (),
+        timeout: float | None = None,
+    ) -> "PlanResult":
+        """Lift a :class:`~repro.runtime.jobs.JobResult` into the API model."""
+        return cls(
+            job_id=result.job_id,
+            case=result.case,
+            label=result.label,
+            planner=result.planner,
+            status=result.status,
+            error=result.error,
+            writing_time=result.writing_time,
+            num_selected=result.num_selected,
+            runtime_seconds=result.runtime_seconds,
+            wall_seconds=result.wall_seconds,
+            worker_pid=result.worker_pid,
+            attempts=result.attempts,
+            cache_hit=result.cache_hit,
+            timeout=timeout,
+            plan=result.plan,
+            instance_summary=dict(result.instance_summary),
+            extra=dict(result.extra),
+            events=list(events),
+        )
+
+    def to_job_result(self):
+        """Project back onto the batch runtime's :class:`JobResult`."""
+        from repro.runtime.jobs import JobResult
+
+        return JobResult(
+            job_id=self.job_id,
+            case=self.case,
+            label=self.label,
+            planner=self.planner,
+            status=self.status,
+            writing_time=self.writing_time,
+            num_selected=self.num_selected,
+            runtime_seconds=self.runtime_seconds,
+            wall_seconds=self.wall_seconds,
+            worker_pid=self.worker_pid,
+            attempts=self.attempts,
+            cache_hit=self.cache_hit,
+            error=self.error,
+            plan=self.plan,
+            instance_summary=dict(self.instance_summary),
+            extra=dict(self.extra),
+        )
+
+    def to_algorithm_result(self):
+        """Project onto the comparison-table record."""
+        from repro.evaluation.metrics import AlgorithmResult
+
+        return AlgorithmResult(
+            algorithm=self.label,
+            case=self.case,
+            writing_time=self.writing_time,
+            num_selected=self.num_selected,
+            runtime_seconds=self.runtime_seconds,
+            extra=dict(self.extra),
+        )
+
+    def plan_object(self, instance):
+        """Rebuild the :class:`~repro.model.StencilPlan` against ``instance``."""
+        from repro.model import StencilPlan
+
+        if self.plan is None:
+            raise ValidationError(
+                f"plan result {self.job_id} carries no plan (status={self.status})"
+            )
+        return StencilPlan.from_dict(instance, self.plan)

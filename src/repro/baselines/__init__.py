@@ -1,4 +1,10 @@
-"""Baseline planners the paper compares E-BLOW against."""
+"""Baseline planners the paper compares E-BLOW against.
+
+Each planner here is registered with the unified planning API through the
+declarative catalogue in :mod:`repro.api.planners` (capabilities + option
+schema); run them via ``repro.plan(instance, planner="greedy-1d")`` or the
+batch runtime rather than instantiating configs by hand.
+"""
 
 from repro.baselines.exact_ilp import ExactILP1DPlanner, ExactILP2DPlanner, ExactILPConfig
 from repro.baselines.floorplan_2d import Floorplan2DConfig, Floorplan2DPlanner

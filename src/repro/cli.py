@@ -2,10 +2,12 @@
 
 Examples
 --------
-Generate an instance and plan it::
+Generate an instance and plan it (``--progress`` streams the PlanEvent
+protocol; ``eblow planners`` lists the registry with capabilities)::
 
     eblow generate --kind 1D --characters 200 --regions 4 --out inst.json
-    eblow plan --instance inst.json --planner eblow --out plan.json
+    eblow plan --instance inst.json --planner eblow --out plan.json --progress
+    eblow planners --verbose
 
 Batch-serve a whole suite across worker processes (results are cached in the
 content-addressed store, so re-runs are instant)::
@@ -67,13 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=None)
     generate.add_argument("--out", required=True)
 
+    planners = sub.add_parser(
+        "planners", help="list registered planners with capabilities and option schemas"
+    )
+    planners.add_argument("--kind", choices=["1D", "2D"], default=None)
+    planners.add_argument(
+        "--verbose", action="store_true", help="also print each planner's option schema"
+    )
+    planners.add_argument("--json", action="store_true", help="emit the full schema as JSON")
+
     plan = sub.add_parser("plan", help="plan an instance with a registered planner")
     plan.add_argument("--instance", required=True)
     plan.add_argument(
         "--planner",
         default="eblow",
         help="registered planner name (bare family names dispatch on instance kind; "
-        "see `eblow batch --list-planners`)",
+        "see `eblow planners`)",
     )
     plan.add_argument(
         "--time-limit",
@@ -88,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="annealing engine for the 2D planners (placements, selection, and "
         "writing time are bit-identical; stats record which engine ran; copy "
         "is the reference engine, incremental the fast mutate/undo one)",
+    )
+    plan.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream the planner's PlanEvent protocol (stages, LP solves, "
+        "annealing temperature steps, incumbents) to stdout",
+    )
+    plan.add_argument(
+        "--events-out",
+        default=None,
+        help="write the full event stream as JSONL telemetry to this file",
     )
     plan.add_argument("--out", default=None)
 
@@ -130,6 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--scale", type=float, default=None)
     portfolio.add_argument("--timeout", type=float, default=None, help="per-entrant wall-clock seconds")
     portfolio.add_argument("--budget", type=float, default=None, help="stop the race after this many seconds")
+    portfolio.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="stop the race as soon as a plan reaches this writing time",
+    )
+    portfolio.add_argument(
+        "--straggler-grace",
+        type=float,
+        default=None,
+        help="seconds stragglers may keep running past the first finisher "
+        "unless their incumbent events beat the current winner",
+    )
+    portfolio.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream label-stamped PlanEvents from all entrants to stdout",
+    )
     portfolio.add_argument("--no-cache", action="store_true", help="bypass the result store")
     portfolio.add_argument("--cache-dir", default=None)
     portfolio.add_argument("--manifest", default=None, help="write a JSONL telemetry manifest here")
@@ -209,9 +249,49 @@ def _planner_options(
     return options
 
 
+def _cmd_planners(args: argparse.Namespace) -> int:
+    from repro.api import describe_planners, iter_handles
+
+    if args.json:
+        print(json.dumps(describe_planners(args.kind), indent=2))
+        return 0
+    for handle in iter_handles(args.kind):
+        caps = handle.capabilities
+        flags = [caps.kind or "any"]
+        if caps.deterministic:
+            flags.append("deterministic")
+        if caps.supports_engine:
+            flags.append("engine=")
+        if caps.supports_warm_start:
+            flags.append("warm-start")
+        if caps.supports_time_limit:
+            flags.append("time-limit")
+        if caps.event_types:
+            flags.append("events:" + ",".join(caps.event_types))
+        print(f"{handle.name:12s} [{' '.join(flags)}] {handle.description}")
+        if args.verbose:
+            for option in handle.schema.fields:
+                default = f" (default {option.default!r})" if option.default is not None else ""
+                choices = f" one of {list(option.choices)}" if option.choices else ""
+                print(f"    {option.name}: {option.type}{choices}{default} — {option.description}")
+    return 0
+
+
+def _write_events_out(path: str | None, result) -> None:
+    """Persist a PlanResult's captured event stream as JSONL telemetry."""
+    if not path:
+        return
+    from repro.runtime import Telemetry
+
+    telemetry = Telemetry(path)
+    for event in result.events:
+        telemetry.record_event(event, job_id=result.job_id)
+    print(f"wrote {len(result.events)} events to {path}")
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.api import PlanningError, plan as run_plan
     from repro.errors import ValidationError
-    from repro.runtime import PlanJob, PlannerSpec, execute_job
 
     instance = load_instance(args.instance)
     try:
@@ -221,26 +301,40 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     except ValidationError as exc:
         print(f"plan: {exc}", file=sys.stderr)
         return 2
+
+    on_event = None
+    if args.progress:
+        def on_event(event) -> None:
+            print(event.describe(), flush=True)
+
     # ILP planners enforce the limit inside the solver and return their
     # incumbent plan; arming the wall-clock job timeout too would fire first
     # (build + extraction overhead) and discard that incumbent.
-    job = PlanJob(
-        spec=PlannerSpec(args.planner, options),
-        instance=instance,
-        timeout=None if "time_limit" in options else args.time_limit,
-        label=args.planner,
-    )
-    result = execute_job(job)
-    if not result.ok:
-        print(f"{instance.name}: {result.status} — {result.error}", file=sys.stderr)
+    try:
+        result = run_plan(
+            instance,
+            planner=args.planner,
+            options=options,
+            timeout=None if "time_limit" in options else args.time_limit,
+            label=args.planner,
+            on_event=on_event,
+        )
+    except PlanningError as exc:
+        failed = exc.result
+        detail = f"{failed.status} — {failed.error}" if failed is not None else str(exc)
+        print(f"{instance.name}: {detail}", file=sys.stderr)
+        if failed is not None:
+            # The captured stream matters most on failures — keep it.
+            _write_events_out(args.events_out, failed)
         return 1
+    _write_events_out(args.events_out, result)
     print(
         f"{instance.name}: writing time {result.writing_time:.0f}, "
         f"{result.num_selected} characters on stencil, "
         f"{result.runtime_seconds:.2f}s"
     )
     if args.out:
-        save_plan(result.to_plan(instance), args.out)
+        save_plan(result.plan_object(instance), args.out)
         print(f"wrote plan to {args.out}")
     return 0
 
@@ -373,6 +467,11 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             for label, spec in _PORTFOLIO_DEFAULTS[kind].items()
         }
 
+    on_event = None
+    if args.progress:
+        def on_event(event) -> None:
+            print(event.describe(), flush=True)
+
     telemetry = Telemetry(args.manifest)
     outcome = run_portfolio(
         target,
@@ -381,6 +480,9 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         timeout=args.timeout,
         budget=args.budget,
+        target=args.target,
+        straggler_grace=args.straggler_grace,
+        on_event=on_event,
         store=_batch_store(args),
         telemetry=telemetry,
     )
@@ -404,7 +506,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             )
             print(f"{marker} {result.label:<12} {detail}")
         for label in outcome.cancelled:
-            print(f"  {label:<12} cancelled (budget)")
+            print(f"  {label:<12} cancelled (budget/target/straggler)")
         if outcome.winner is not None:
             print(
                 f"winner: {outcome.winner.label} "
@@ -454,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "planners":
+        return _cmd_planners(args)
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "batch":

@@ -32,6 +32,7 @@ from repro.core.onedim.successive_rounding import (
 )
 from repro.core.profits import compute_profits
 from repro.errors import ValidationError
+from repro.events import emit
 from repro.model import OSPInstance, StencilPlan
 from repro.model.writing_time import evaluate_plan
 
@@ -81,20 +82,25 @@ class EBlow1DPlanner:
         config = self.config
 
         # Stage 1+2: selection and row assignment under the S-Blank model.
+        emit("stage", name="successive_rounding")
         state = initial_state(instance)
         successive_rounding(state, config.rounding)
         if config.use_fast_convergence:
+            emit("stage", name="fast_convergence", unsolved=len(state.unsolved))
             fast_ilp_convergence(state, config.convergence)
 
         # Stage 3: exact re-ordering per row, evicting overflow if needed.
+        emit("stage", name="refinement")
         rows, evicted = self._refine_rows(instance, state)
 
         # Stages 4-5: post optimization.
         swaps = 0
         inserted = 0
         if config.use_post_swap:
+            emit("stage", name="post_swap")
             rows, swaps = post_swap(instance, rows, config.swap)
         if config.use_post_insertion:
+            emit("stage", name="post_insertion")
             rows, inserted = post_insertion(instance, rows, config.insertion)
 
         plan = StencilPlan.from_rows(instance, rows)

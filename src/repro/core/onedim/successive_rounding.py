@@ -35,6 +35,7 @@ from repro.core.onedim.formulation import (
 from repro.core.onedim.row import RowState
 from repro.core.profits import compute_profits
 from repro.errors import SolverError
+from repro.events import emit
 from repro.model import OSPInstance
 from repro.solver import solve_lp
 from repro.solver.result import SolveStatus
@@ -187,6 +188,13 @@ def successive_rounding(
                 config.lp_backend,
             )
         state.lp_solve_seconds.append(time.perf_counter() - solve_start)
+        emit(
+            "lp_solve",
+            seconds=state.lp_solve_seconds[-1],
+            warm=bool(structure is not None and structure.last_warm_started),
+            unsolved=len(state.unsolved),
+            variables=len(values),
+        )
         if not values:
             # No unsolved character fits on any row: everything left is rejected.
             state.rejected.update(state.unsolved)
@@ -209,6 +217,12 @@ def successive_rounding(
                     state.assign(i, j)
                     assigned_now += 1
         state.unsolved_history.append(len(state.unsolved))
+        emit(
+            "iteration",
+            iteration=state.lp_iterations,
+            assigned=assigned_now,
+            unsolved=len(state.unsolved),
+        )
         if assigned_now == 0:
             break
         if config.convergence_trigger and assigned_now <= config.convergence_trigger:

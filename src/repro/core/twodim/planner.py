@@ -21,6 +21,7 @@ from repro.core.twodim.clustering import (
 )
 from repro.core.twodim.prefilter import PreFilterConfig, prefilter_characters
 from repro.errors import ValidationError
+from repro.events import emit
 from repro.floorplan import AnnealingSchedule, FixedOutlinePacker
 from repro.model import OSPInstance, Placement2D, StencilPlan
 from repro.model.writing_time import evaluate_plan
@@ -77,6 +78,7 @@ class EBlow2DPlanner:
         profits = compute_profits(instance)
 
         # Stage 1: pre-filter.
+        emit("stage", name="prefilter")
         if config.use_prefilter:
             kept = prefilter_characters(instance, config.prefilter)
         else:
@@ -85,6 +87,7 @@ class EBlow2DPlanner:
         kept_profits = [profits[i] for i in kept]
 
         # Stage 2: clustering.
+        emit("stage", name="clustering", kept=len(kept))
         if config.use_clustering:
             clusters = cluster_characters(kept_characters, kept_profits, config.clustering)
         else:
@@ -101,6 +104,7 @@ class EBlow2DPlanner:
         ]
 
         # Stage 3: fixed-outline annealing over the clusters.
+        emit("stage", name="annealing", clusters=len(clusters))
         blocks = {cl.name: cl.to_block() for cl in clusters}
         cluster_by_name = {cl.name: cl for cl in clusters}
         time_model = ClusterTimeModel(instance, cluster_by_name)
@@ -121,6 +125,7 @@ class EBlow2DPlanner:
         )
 
         # Stage 4: unfold clusters into per-character placements.
+        emit("stage", name="unfold", inside=len(result.inside))
         placements: list[Placement2D] = []
         for cluster_name, (x, y) in result.inside.items():
             cluster = cluster_by_name[cluster_name]

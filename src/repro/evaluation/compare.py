@@ -1,9 +1,16 @@
 """Comparison harness: run several planners over a list of benchmark cases.
 
-This is the engine behind the Table 3 / Table 4 / Table 5 reproductions.
-Planners are supplied as factories so each run starts from a fresh object,
-and results are grouped per case so the reporting module can lay them out in
-the paper's row format.
+This is the engine behind the Table 3 / Table 4 / Table 5 reproductions — a
+thin client of the unified planning API: planner specs build through the
+shared :mod:`repro.api.registry` handles (declared capabilities + option
+schemas), and pooled grids execute through the batch runtime's single
+execution path.  Results are grouped per case so the reporting module can
+lay them out in the paper's row format.
+
+Planners may still be supplied as bare factories (legacy, serial-only); the
+spec form (:class:`~repro.runtime.jobs.PlannerSpec` or registry-name
+strings) is required for pooled execution and validated against the
+planner's declared option schema.
 """
 
 from __future__ import annotations

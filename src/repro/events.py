@@ -1,0 +1,194 @@
+"""The streaming plan-event protocol.
+
+Planners report progress as a stream of :class:`PlanEvent` records — LP
+solves, rounding iterations, annealing temperature steps, incumbent
+improvements, cache rebases — through a process-local emitter.  Consumers
+install a sink with :func:`emitting`; instrumented code calls :func:`emit`,
+which is a no-op (one attribute lookup) when nobody is listening, so the
+solver hot paths pay nothing in normal batch runs.
+
+The protocol is deliberately one-way and side-effect free: emitting never
+touches the planner's RNG or state, so an instrumented run is bit-identical
+to an uninstrumented one.  Sinks that raise are dropped for the remainder of
+the run rather than poisoning the planning call.
+
+This module lives outside :mod:`repro.api` so that low-level modules
+(``repro.floorplan``, ``repro.core``) can import it without creating an
+import cycle; :mod:`repro.api` re-exports the public names.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "EVENT_TYPES",
+    "PlanEvent",
+    "EventSink",
+    "emit",
+    "emitting",
+    "events_enabled",
+    "guarded_sink",
+]
+
+#: The event vocabulary.  ``payload`` keys are per-type conventions, not a
+#: schema — consumers must tolerate missing keys and unknown types.
+#:
+#: ==============  ============================================================
+#: type            meaning / typical payload
+#: ==============  ============================================================
+#: ``started``     a planning run began — ``planner``, ``case``
+#: ``stage``       a pipeline stage began — ``name`` (e.g. ``"annealing"``)
+#: ``lp_solve``    one LP relaxation solved — ``seconds``, ``warm``,
+#:                 ``unsolved``
+#: ``iteration``   one successive-rounding iteration — ``iteration``,
+#:                 ``assigned``, ``unsolved``
+#: ``temperature`` one annealing temperature step — ``temperature``, ``cost``,
+#:                 ``moves``
+#: ``incumbent``   a new best solution — ``cost``, ``moves``
+#: ``rebase``      an incremental cache was rebuilt from scratch — ``scope``
+#: ``finished``    the run ended — ``status``, ``writing_time``
+#: ==============  ============================================================
+EVENT_TYPES = (
+    "started",
+    "stage",
+    "lp_solve",
+    "iteration",
+    "temperature",
+    "incumbent",
+    "rebase",
+    "finished",
+)
+
+
+@dataclass(frozen=True)
+class PlanEvent:
+    """One progress record of a planning run.
+
+    ``seq`` numbers events within one :func:`emitting` scope (1-based);
+    ``elapsed`` is seconds since the sink was installed.  ``payload`` carries
+    the type-specific details and is always JSON-able.
+    """
+
+    type: str
+    seq: int = 0
+    elapsed: float = 0.0
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type,
+            "seq": self.seq,
+            "elapsed": self.elapsed,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanEvent":
+        return cls(
+            type=data["type"],
+            seq=int(data.get("seq", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            payload=dict(data.get("payload", {})),
+        )
+
+    def describe(self) -> str:
+        """One-line human rendering (the CLI's ``--progress`` format)."""
+        detail = " ".join(f"{k}={_fmt(v)}" for k, v in self.payload.items())
+        return f"[{self.elapsed:8.3f}s] {self.type:<12} {detail}".rstrip()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+EventSink = Callable[[PlanEvent], None]
+
+
+class _EmitterState(threading.local):
+    def __init__(self) -> None:
+        self.scopes: list["_Scope"] = []
+
+
+class _Scope:
+    __slots__ = ("sink", "seq", "start", "broken")
+
+    def __init__(self, sink: EventSink) -> None:
+        self.sink = sink
+        self.seq = 0
+        self.start = time.perf_counter()
+        self.broken = False
+
+
+_STATE = _EmitterState()
+
+
+def events_enabled() -> bool:
+    """Whether a sink is currently installed in this thread."""
+    return bool(_STATE.scopes)
+
+
+def emit(type: str, **payload) -> None:
+    """Send one event to every installed sink (no-op when none is)."""
+    scopes = _STATE.scopes
+    if not scopes:
+        return
+    now = time.perf_counter()
+    for scope in scopes:
+        if scope.broken:
+            continue
+        scope.seq += 1
+        event = PlanEvent(
+            type=type, seq=scope.seq, elapsed=now - scope.start, payload=payload
+        )
+        try:
+            scope.sink(event)
+        except Exception:  # noqa: BLE001 — a broken sink must not kill the run
+            scope.broken = True
+
+
+def guarded_sink(sink: EventSink | None) -> EventSink | None:
+    """Wrap a user callback so its first exception drops it permanently.
+
+    Mirrors the scope-level ``broken`` rule for composite sinks: when a
+    consumer bundles internal bookkeeping with a user callback in one sink,
+    the callback half must fail independently — wrap it with this and the
+    bookkeeping keeps receiving events after the callback breaks.
+    Returns ``None`` unchanged so callers can pass optional callbacks through.
+    """
+    if sink is None:
+        return None
+    broken = False
+
+    def _guarded(event: PlanEvent) -> None:
+        nonlocal broken
+        if broken:
+            return
+        try:
+            sink(event)
+        except Exception:  # noqa: BLE001 — drop the broken callback only
+            broken = True
+
+    return _guarded
+
+
+@contextmanager
+def emitting(sink: EventSink) -> Iterator[None]:
+    """Install ``sink`` as an event consumer for the duration of the block.
+
+    Scopes nest: every active sink receives every event, each with its own
+    ``seq`` / ``elapsed`` frame, so a façade can collect events while also
+    forwarding them to a user callback installed one level up.
+    """
+    scope = _Scope(sink)
+    _STATE.scopes.append(scope)
+    try:
+        yield
+    finally:
+        _STATE.scopes.remove(scope)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core.onedim import EBlow1DPlanner
+from repro.api import plan as run_plan
 from repro.evaluation import Comparison, run_comparison
 from repro.runtime.jobs import PlannerSpec
 from repro.workloads import (
@@ -26,7 +26,6 @@ from repro.workloads import (
     SUITE_2D,
     SUITE_2M,
     SUITE_2T,
-    build_instance,
     default_scale,
 )
 
@@ -129,9 +128,8 @@ def run_fig5(
     scale = scale if scale is not None else default_scale()
     traces: dict[str, list[int]] = {}
     for case in cases:
-        instance = build_instance(case, scale)
-        plan = EBlow1DPlanner().plan(instance)
-        traces[case] = list(plan.stats["unsolved_history"])
+        result = run_plan(case, planner="eblow-1d", scale=scale)
+        traces[case] = list(result.stats["unsolved_history"])
     return traces
 
 
@@ -142,9 +140,8 @@ def run_fig6(
 ) -> dict[str, list]:
     """Reproduce Fig. 6: histogram of the assignment values in the last LP."""
     scale = scale if scale is not None else default_scale()
-    instance = build_instance(case, scale)
-    plan = EBlow1DPlanner().plan(instance)
-    values = list(plan.stats["last_lp_values"])
+    result = run_plan(case, planner="eblow-1d", scale=scale)
+    values = list(result.stats["last_lp_values"])
     edges = [i / bins for i in range(bins + 1)]
     counts = [0] * bins
     for value in values:

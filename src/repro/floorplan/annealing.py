@@ -31,6 +31,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Protocol, TypeVar, runtime_checkable
 
+from repro.events import emit
+
 __all__ = [
     "AnnealingSchedule",
     "AnnealingResult",
@@ -180,7 +182,9 @@ def simulated_annealing(
                 if current_cost < best_cost:
                     best = current
                     best_cost = current_cost
+                    emit("incumbent", cost=best_cost, moves=moves)
         sampler.step(current_cost)
+        emit("temperature", temperature=temperature, cost=current_cost, moves=moves)
         if moves >= schedule.max_total_moves:
             break
     return AnnealingResult(
@@ -247,9 +251,11 @@ def simulated_annealing_in_place(
                 if current_cost < best_cost:
                     best = snapshot(state)
                     best_cost = current_cost
+                    emit("incumbent", cost=best_cost, moves=moves)
             else:
                 move.revert(state)
         sampler.step(current_cost)
+        emit("temperature", temperature=temperature, cost=current_cost, moves=moves)
         if moves >= schedule.max_total_moves:
             break
     return AnnealingResult(

@@ -24,6 +24,7 @@ from typing import Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.events import emit
 from repro.floorplan.annealing import (
     AnnealingResult,
     AnnealingSchedule,
@@ -237,6 +238,7 @@ class FixedOutlinePacker:
         if self._deltas_since_rebase >= self.REBASE_INTERVAL:
             self._deltas_since_rebase = 0
             times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+            emit("rebase", scope="region-times", interval=self.REBASE_INTERVAL)
         self._remember_last(candidate, mask, times)
         return self._penalized(float(times.max()), x, y)
 
@@ -290,6 +292,7 @@ class FixedOutlinePacker:
         if state.deltas_since_rebase >= self.REBASE_INTERVAL:
             state.deltas_since_rebase = 0
             times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+            emit("rebase", scope="region-times", interval=self.REBASE_INTERVAL)
         state.pending_mask = mask
         state.pending_times = times
         return self._penalized_dims(float(times.max()), packer.width, packer.height)

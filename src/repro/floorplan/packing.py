@@ -18,6 +18,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.events import emit
 from repro.floorplan.sequence_pair import SequencePair
 from repro.geometry import Rect
 
@@ -806,6 +807,7 @@ class IncrementalPacker:
         self._applies += 1
         if self._applies % self.rebase_interval == 0:
             self._rebuild()
+            emit("rebase", scope="packing", interval=self.rebase_interval)
         else:
             self._update_bbox()
 

@@ -25,7 +25,7 @@ from repro.runtime.jobs import (
     register_planner,
     resolve_planner,
 )
-from repro.runtime.pool import PlannerPool, default_workers
+from repro.runtime.pool import EventRelay, PlannerPool, default_workers
 from repro.runtime.portfolio import PortfolioOutcome, portfolio_jobs, run_portfolio
 from repro.runtime.store import ResultStore, code_version, default_cache_dir
 from repro.runtime.telemetry import Telemetry, read_manifest, summarize_manifest
@@ -40,6 +40,7 @@ __all__ = [
     "resolve_planner",
     "list_planners",
     "PlannerPool",
+    "EventRelay",
     "default_workers",
     "grid_jobs",
     "iter_jobs",

@@ -12,11 +12,12 @@ This is the high-level entry the CLI and the evaluation layer share:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.events import PlanEvent
 from repro.model import OSPInstance
 from repro.runtime.jobs import JobResult, PlanJob, PlannerSpec
-from repro.runtime.pool import PlannerPool
+from repro.runtime.pool import EventRelay, PlannerPool
 from repro.runtime.store import ResultStore
 from repro.runtime.telemetry import Telemetry
 
@@ -60,12 +61,18 @@ def iter_jobs(
     retries: int = 0,
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
+    on_event: Callable[[PlanEvent], None] | None = None,
 ) -> Iterator[JobResult]:
     """Stream results for ``jobs`` in submission order.
 
     Store hits never touch the pool; a pool is only spun up if at least one
     job misses.  Fresh ``ok`` results are persisted before they are yielded,
     so a consumer that stops early still leaves a warm cache behind.
+
+    ``on_event`` receives every :class:`~repro.events.PlanEvent` the running
+    planners emit, label-stamped; with worker processes the stream crosses
+    over an :class:`~repro.runtime.pool.EventRelay` and interleaves across
+    jobs in arrival order.
     """
     jobs = list(jobs)
     hits: dict[int, JobResult] = {}
@@ -78,18 +85,33 @@ def iter_jobs(
             misses.append((index, job))
 
     workers = min(max(1, max_workers), max(1, len(misses)))
-    with PlannerPool(max_workers=workers, retries=retries) as pool:
-        miss_results = pool.imap([job for _, job in misses]) if misses else iter(())
-        for index, job in enumerate(jobs):
-            if index in hits:
-                result = hits[index]
-            else:
-                result = next(miss_results)
-                if store is not None:
-                    store.put(job, result)
-            if telemetry is not None:
-                telemetry.record(result)
-            yield result
+    relay: EventRelay | None = None
+    if on_event is not None and workers > 1 and misses:
+        relay = EventRelay(on_event)
+    try:
+        with PlannerPool(max_workers=workers, retries=retries) as pool:
+            miss_results = (
+                pool.imap(
+                    [job for _, job in misses],
+                    event_queue=relay.queue if relay is not None else None,
+                    on_event=on_event if pool.inline else None,
+                )
+                if misses
+                else iter(())
+            )
+            for index, job in enumerate(jobs):
+                if index in hits:
+                    result = hits[index]
+                else:
+                    result = next(miss_results)
+                    if store is not None:
+                        store.put(job, result)
+                if telemetry is not None:
+                    telemetry.record(result)
+                yield result
+    finally:
+        if relay is not None:
+            relay.close()
 
 
 def run_jobs(
@@ -98,8 +120,16 @@ def run_jobs(
     retries: int = 0,
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
+    on_event: Callable[[PlanEvent], None] | None = None,
 ) -> list[JobResult]:
     """Run all jobs and return results in submission order."""
     return list(
-        iter_jobs(jobs, max_workers=max_workers, retries=retries, store=store, telemetry=telemetry)
+        iter_jobs(
+            jobs,
+            max_workers=max_workers,
+            retries=retries,
+            store=store,
+            telemetry=telemetry,
+            on_event=on_event,
+        )
     )

@@ -28,25 +28,22 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.baselines import (
-    ExactILP1DPlanner,
-    ExactILP2DPlanner,
-    ExactILPConfig,
-    Floorplan2DConfig,
-    Floorplan2DPlanner,
-    Greedy1DConfig,
-    Greedy1DPlanner,
-    Greedy2DConfig,
-    Greedy2DPlanner,
-    Heuristic1DConfig,
-    Heuristic1DPlanner,
-    RowStructure1DConfig,
-    RowStructure1DPlanner,
+# The planner registry now lives in repro.api.registry (planners declare
+# capabilities and option schemas there and self-register on import); these
+# re-exports keep the historic `repro.runtime` import surface working.
+from repro.api import planners as _catalogue  # noqa: F401  (self-registration)
+from repro.api.registry import (  # noqa: F401  (re-exported shims)
+    PlannerBuilder,
+    get_handle,
+    list_planners,
+    register_planner,
+    resolve_planner,
 )
 from repro.errors import ValidationError
 from repro.evaluation.metrics import AlgorithmResult, result_from_plan
+from repro.events import emit
 from repro.io.serialization import canonical_json
 from repro.model import OSPInstance, StencilPlan
 
@@ -68,184 +65,6 @@ class JobTimeoutError(Exception):
 
 
 # --------------------------------------------------------------------------- #
-# Planner registry
-# --------------------------------------------------------------------------- #
-
-PlannerBuilder = Callable[[dict], object]
-
-
-@dataclass(frozen=True)
-class _RegistryEntry:
-    builder: PlannerBuilder
-    kind: str | None  # "1D", "2D", or None for kind-agnostic planners
-    description: str
-
-
-_PLANNERS: dict[str, _RegistryEntry] = {}
-
-
-def register_planner(
-    name: str, builder: PlannerBuilder, kind: str | None = None, description: str = ""
-) -> None:
-    """Register a planner builder under ``name``.
-
-    ``builder`` receives the spec's options dict and returns a planner object
-    with a ``plan(instance)`` method.  Registration is process-local; worker
-    processes created with the default (fork) start method inherit it.
-    """
-    _PLANNERS[name.lower()] = _RegistryEntry(builder=builder, kind=kind, description=description)
-
-
-def resolve_planner(name: str, kind: str | None = None) -> str:
-    """Resolve ``name`` to a registry key, honouring kind-suffix shorthand.
-
-    ``resolve_planner("eblow", "2D")`` returns ``"eblow-2d"``: a bare family
-    name dispatches on the instance kind, so the CLI's ``--planner eblow``
-    works for both 1D and 2D instances.
-    """
-    key = name.lower()
-    if key in _PLANNERS:
-        return key
-    if kind is not None:
-        suffixed = f"{key}-{kind.lower()}"
-        if suffixed in _PLANNERS:
-            return suffixed
-    raise ValidationError(
-        f"unknown planner {name!r}"
-        + (f" for kind {kind!r}" if kind else "")
-        + f"; registered planners: {sorted(_PLANNERS)}"
-    )
-
-
-def list_planners() -> dict[str, str]:
-    """Mapping of registered planner names to one-line descriptions."""
-    return {name: entry.description for name, entry in sorted(_PLANNERS.items())}
-
-
-def _take(options: dict, planner: str, allowed: tuple[str, ...]) -> dict:
-    unknown = sorted(set(options) - set(allowed))
-    if unknown:
-        raise ValidationError(
-            f"unknown option(s) {unknown} for planner {planner!r}; allowed: {sorted(allowed)}"
-        )
-    return options
-
-
-def _build_eblow_1d(options: dict):
-    from dataclasses import replace
-
-    from repro.core.onedim import EBlow1DConfig, EBlow1DPlanner
-
-    opts = _take(dict(options), "eblow-1d", ("ablated", "deterministic"))
-    ablated = bool(opts.get("ablated", False))
-    config = EBlow1DConfig.ablated() if ablated else EBlow1DConfig()
-    if opts.get("deterministic"):
-        # The fast-convergence ILP's wall-clock cap is the one load-dependent
-        # knob in the flow; dropping it (the deterministic 2% MIP gap and the
-        # variable cap still bound the solve) makes plans reproducible across
-        # schedulers, which batch serving and the result store rely on.
-        config.convergence = replace(config.convergence, time_limit=None)
-    return EBlow1DPlanner(config)
-
-
-def _build_eblow_2d(options: dict):
-    from repro.core.twodim import EBlow2DConfig, EBlow2DPlanner
-
-    # "deterministic" is accepted for symmetry with eblow-1d; the 2D flow is
-    # already reproducible (seeded annealing, no wall-clock cut-offs).
-    # "engine" selects the annealing engine (auto | incremental | copy);
-    # placements and writing times are bit-identical across engines (only
-    # the engine-telemetry stats differ), so it is a pure speed knob.
-    opts = _take(dict(options), "eblow-2d", ("seed", "deterministic", "engine"))
-    return EBlow2DPlanner(
-        EBlow2DConfig(
-            seed=int(opts.get("seed", 0)),
-            engine=str(opts.get("engine", "auto")),
-        )
-    )
-
-
-def _build_ilp(cls, options: dict, name: str):
-    opts = _take(dict(options), name, ("time_limit", "backend"))
-    return cls(
-        ExactILPConfig(
-            time_limit=opts.get("time_limit", 300.0),
-            backend=opts.get("backend", "scipy"),
-        )
-    )
-
-
-register_planner(
-    "greedy-1d",
-    lambda o: Greedy1DPlanner(Greedy1DConfig(**_take(dict(o), "greedy-1d", ("by_density",)))),
-    kind="1D",
-    description="first-fit greedy 1DOSP baseline (Greedy[24])",
-)
-register_planner(
-    "heur-1d",
-    lambda o: Heuristic1DPlanner(
-        Heuristic1DConfig(**_take(dict(o), "heur-1d", ("exchange_passes", "refinement_threshold")))
-    ),
-    kind="1D",
-    description="two-step select-then-pack heuristic (Heur[24])",
-)
-register_planner(
-    "rows-1d",
-    lambda o: RowStructure1DPlanner(
-        RowStructure1DConfig(**_take(dict(o), "rows-1d", ("refinement_threshold",)))
-    ),
-    kind="1D",
-    description="row-structure deterministic 1D baseline ([25]-style)",
-)
-register_planner(
-    "eblow-1d",
-    _build_eblow_1d,
-    kind="1D",
-    description="E-BLOW 1DOSP flow (option ablated=true gives E-BLOW-0)",
-)
-register_planner(
-    "greedy-2d",
-    lambda o: Greedy2DPlanner(Greedy2DConfig(**_take(dict(o), "greedy-2d", ("by_density",)))),
-    kind="2D",
-    description="shelf-packing greedy 2DOSP baseline (Greedy[24])",
-)
-def _build_sa_2d(options: dict):
-    opts = _take(dict(options), "sa-2d", ("seed", "engine"))
-    return Floorplan2DPlanner(
-        Floorplan2DConfig(
-            seed=int(opts.get("seed", 0)),
-            engine=str(opts.get("engine", "auto")),
-        )
-    )
-
-
-register_planner(
-    "sa-2d",
-    _build_sa_2d,
-    kind="2D",
-    description="plain fixed-outline annealer baseline (SA[24])",
-)
-register_planner(
-    "eblow-2d",
-    _build_eblow_2d,
-    kind="2D",
-    description="E-BLOW 2DOSP flow (pre-filter + clustering + annealing)",
-)
-register_planner(
-    "ilp-1d",
-    lambda o: _build_ilp(ExactILP1DPlanner, o, "ilp-1d"),
-    kind="1D",
-    description="exact 1DOSP ILP (options: time_limit, backend)",
-)
-register_planner(
-    "ilp-2d",
-    lambda o: _build_ilp(ExactILP2DPlanner, o, "ilp-2d"),
-    kind="2D",
-    description="exact 2DOSP ILP (options: time_limit, backend)",
-)
-
-
-# --------------------------------------------------------------------------- #
 # Specs and jobs
 # --------------------------------------------------------------------------- #
 
@@ -261,9 +80,12 @@ class PlannerSpec:
         object.__setattr__(self, "options", dict(self.options))
 
     def build(self, kind: str | None = None):
-        """Instantiate the planner (dispatching bare names on ``kind``)."""
-        name = resolve_planner(self.planner, kind)
-        return _PLANNERS[name].builder(dict(self.options))
+        """Instantiate the planner (dispatching bare names on ``kind``).
+
+        Options are validated against the planner's declared schema (see
+        :mod:`repro.api.registry`) before the builder runs.
+        """
+        return get_handle(self.planner, kind).build(dict(self.options))
 
     def to_dict(self) -> dict:
         return {"planner": self.planner, "options": dict(self.options)}
@@ -474,13 +296,25 @@ def summarize_instance(instance: OSPInstance) -> dict:
     }
 
 
-def execute_job(job: PlanJob) -> JobResult:
+def execute_job(job: PlanJob, on_event=None) -> JobResult:
     """Run one job to completion in the current process.
 
     Never raises for planner failures or timeouts — those come back as
     ``status="error"`` / ``status="timeout"`` results, so a pool can report
     them without tearing down sibling jobs.
+
+    The run brackets the planner's own event stream with ``started`` /
+    ``finished`` :class:`~repro.events.PlanEvent` records; ``on_event``
+    installs an additional sink for the duration of the run (the façade and
+    the portfolio's worker-side event relay use this — with no sink anywhere,
+    emission is a no-op).
     """
+    if on_event is not None:
+        from repro.events import emitting
+
+        with emitting(on_event):
+            return execute_job(job)
+
     start = time.perf_counter()
     result = JobResult(
         job_id=job.job_id,
@@ -489,6 +323,13 @@ def execute_job(job: PlanJob) -> JobResult:
         planner=job.spec.planner,
         status="error",
         worker_pid=os.getpid(),
+    )
+    emit(
+        "started",
+        planner=job.spec.planner,
+        case=job.case_name,
+        label=job.display_label,
+        job_id=job.job_id,
     )
     try:
         instance = job.resolve_instance()
@@ -510,4 +351,12 @@ def execute_job(job: PlanJob) -> JobResult:
         result.status = "error"
         result.error = f"{type(exc).__name__}: {exc}"
     result.wall_seconds = time.perf_counter() - start
+    emit(
+        "finished",
+        status=result.status,
+        writing_time=result.writing_time,
+        num_selected=result.num_selected,
+        wall_seconds=result.wall_seconds,
+        label=result.label,
+    )
     return result

@@ -26,14 +26,16 @@ against, and it keeps tiny batches free of process-spawn overhead.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.events import PlanEvent
 from repro.runtime.jobs import JobResult, PlanJob, execute_job
 
-__all__ = ["PlannerPool", "default_workers"]
+__all__ = ["PlannerPool", "EventRelay", "default_workers"]
 
 # Extra seconds the parent waits beyond a job's own timeout before declaring
 # it lost; the in-worker alarm should always fire first.
@@ -46,9 +48,99 @@ def default_workers(limit: int | None = None) -> int:
     return max(1, min(count, limit) if limit else count)
 
 
-def _pool_worker(job: PlanJob) -> JobResult:
+def labelled_event(event: PlanEvent, label: str) -> PlanEvent:
+    """The event with the job label stamped into its payload."""
+    if event.payload.get("label") == label:
+        return event
+    return PlanEvent(
+        type=event.type,
+        seq=event.seq,
+        elapsed=event.elapsed,
+        payload={**event.payload, "label": label},
+    )
+
+
+def _pool_worker(job: PlanJob, event_queue=None, event_types=None) -> JobResult:
     # Module-level so it pickles under every multiprocessing start method.
-    return execute_job(job)
+    if event_queue is None:
+        return execute_job(job)
+    label = job.display_label
+
+    def _relay(event: PlanEvent) -> None:
+        # Each put() is an IPC round-trip through the manager proxy, so a
+        # consumer that only needs some types (the portfolio's incumbent
+        # bookkeeping) filters at the source, not in the parent.  A dead
+        # parent/manager makes put() raise; the emitter then drops this
+        # sink for the rest of the run instead of failing the job.
+        if event_types is not None and event.type not in event_types:
+            return
+        event_queue.put(labelled_event(event, label).to_dict())
+
+    return execute_job(job, on_event=_relay)
+
+
+class EventRelay:
+    """Parent-side fan-in of worker :class:`PlanEvent` streams.
+
+    Workers serialize each event onto a manager queue (proxies pickle under
+    every start method); a daemon thread in the parent re-inflates them and
+    hands them to ``on_event`` in arrival order.  Use as a context manager —
+    ``queue`` is what :meth:`PlannerPool.submit` / :meth:`PlannerPool.imap`
+    take as ``event_queue``.
+    """
+
+    def __init__(self, on_event: Callable[[PlanEvent], None]) -> None:
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._on_event = on_event
+        self._consumer_broken = False
+        self._thread = threading.Thread(
+            target=self._drain, name="plan-event-relay", daemon=True
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                item = self.queue.get()
+            except (EOFError, OSError):  # manager shut down underneath us
+                return
+            if item is None:
+                return
+            if self._consumer_broken:
+                continue  # keep draining so workers never block on the queue
+            try:
+                self._on_event(PlanEvent.from_dict(item))
+            except Exception:  # noqa: BLE001 — same contract as repro.events:
+                # a sink that raises is dropped for the rest of the run.
+                self._consumer_broken = True
+
+    def close(self) -> None:
+        """Stop the drain thread and shut the manager down (idempotent).
+
+        The sentinel is enqueued *behind* any backlog, and the join is
+        unbounded, so every event produced before close() reaches the
+        consumer — the "receives every PlanEvent" contract holds even for
+        slow sinks (a sink that raised is already skipped, so the drain
+        always makes progress through the backlog).
+        """
+        try:
+            self.queue.put(None)
+        except Exception:  # noqa: BLE001 — manager already gone
+            pass
+        self._thread.join()
+        try:
+            self._manager.shutdown()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def __enter__(self) -> "EventRelay":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class PlannerPool:
@@ -117,33 +209,63 @@ class PlannerPool:
         """Run all jobs and return their results in submission order."""
         return list(self.imap(jobs))
 
-    def imap(self, jobs: Iterable[PlanJob]) -> Iterator[JobResult]:
-        """Yield results in submission order as jobs complete."""
+    def imap(
+        self,
+        jobs: Iterable[PlanJob],
+        event_queue=None,
+        on_event: Callable[[PlanEvent], None] | None = None,
+    ) -> Iterator[JobResult]:
+        """Yield results in submission order as jobs complete.
+
+        ``event_queue`` (an :class:`EventRelay` queue) streams worker events
+        back to the parent; ``on_event`` is the in-process equivalent used on
+        the inline path, receiving label-stamped events directly.
+        """
         jobs = list(jobs)
         if not jobs:
             return
         if self.inline:
             for job in jobs:
-                yield self._run_with_retries_inline(job)
+                yield self._run_with_retries_inline(job, on_event=on_event)
             return
         executor = self._ensure_executor()
-        futures: list[Future] = [executor.submit(_pool_worker, job) for job in jobs]
+        futures: list[Future] = [
+            executor.submit(_pool_worker, job, event_queue) for job in jobs
+        ]
         for job, future in zip(jobs, futures):
-            yield self._await(job, future)
+            yield self._await(job, future, event_queue=event_queue)
 
-    def submit(self, jobs: Sequence[PlanJob]) -> list[Future]:
-        """Low-level: submit jobs and return raw futures (portfolio racing)."""
+    def submit(
+        self, jobs: Sequence[PlanJob], event_queue=None, event_types=None
+    ) -> list[Future]:
+        """Low-level: submit jobs and return raw futures (portfolio racing).
+
+        ``event_types`` (a tuple of :data:`~repro.events.EVENT_TYPES` names)
+        restricts which events the workers relay — pass it when the consumer
+        only reads a subset, to keep IPC off the planner hot paths.
+        """
         executor = self._ensure_executor()
-        return [executor.submit(_pool_worker, job) for job in jobs]
+        return [
+            executor.submit(_pool_worker, job, event_queue, event_types) for job in jobs
+        ]
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _run_with_retries_inline(self, job: PlanJob) -> JobResult:
+    def _run_with_retries_inline(
+        self, job: PlanJob, on_event: Callable[[PlanEvent], None] | None = None
+    ) -> JobResult:
+        sink = None
+        if on_event is not None:
+            label = job.display_label
+
+            def sink(event: PlanEvent) -> None:
+                on_event(labelled_event(event, label))
+
         attempts = 0
         while True:
             attempts += 1
-            result = execute_job(job)
+            result = execute_job(job, on_event=sink)
             result.attempts = attempts
             if result.ok or attempts > self.retries:
                 return result
@@ -169,7 +291,7 @@ class PlannerPool:
             result = self._failed(job, "error", f"{type(exc).__name__}: {exc}")
         return result
 
-    def _await(self, job: PlanJob, future: Future) -> JobResult:
+    def _await(self, job: PlanJob, future: Future, event_queue=None) -> JobResult:
         attempts = 0
         while True:
             attempts += 1
@@ -177,7 +299,7 @@ class PlannerPool:
             result.attempts = attempts
             if result.ok or attempts > self.retries:
                 return result
-            future = self._ensure_executor().submit(_pool_worker, job)
+            future = self._ensure_executor().submit(_pool_worker, job, event_queue)
 
     @staticmethod
     def _failed(job: PlanJob, status: str, message: str) -> JobResult:

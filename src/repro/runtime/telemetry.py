@@ -51,6 +51,21 @@ class Telemetry:
             if not append:
                 self.path.write_text("")
 
+    def record_event(self, event, **extra) -> dict:
+        """Log one :class:`~repro.events.PlanEvent` as an event record.
+
+        Event records carry ``"record": "event"`` and no ``status`` field;
+        :func:`summarize_manifest` skips them, so a manifest may freely mix
+        job outcomes with fine-grained progress streams.
+        """
+        entry = {"ts": time.time(), "record": "event", **event.to_dict()}
+        entry.update(extra)
+        self.records.append(entry)
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(canonical_json(entry) + "\n")
+        return entry
+
     def record(self, result: JobResult, **extra) -> dict:
         """Log one job outcome; returns the record that was written."""
         entry = {
@@ -94,8 +109,8 @@ def read_manifest(path: str | Path) -> list[dict]:
 
 
 def summarize_manifest(records: Iterable[Mapping]) -> dict:
-    """Aggregate counters over manifest records."""
-    records = list(records)
+    """Aggregate counters over manifest records (job records only)."""
+    records = [r for r in records if "status" in r]
     statuses: dict[str, int] = {}
     hits = 0
     wall = 0.0

@@ -187,3 +187,80 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     rc = main(["cache", "clear", "--cache-dir", str(cache)])
     assert rc == 0
     assert "removed 1" in capsys.readouterr().out
+
+
+def test_planners_verb_lists_capabilities(capsys):
+    rc = main(["planners"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "eblow-1d" in out and "eblow-2d" in out
+    assert "[1D" in out and "[2D" in out  # capability column
+
+
+def test_planners_verb_json_schema(capsys):
+    rc = main(["planners", "--json", "--kind", "2D"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    names = {entry["name"] for entry in data}
+    assert "eblow-2d" in names and "eblow-1d" not in names
+    eblow = next(e for e in data if e["name"] == "eblow-2d")
+    assert eblow["capabilities"]["supports_engine"] is True
+    assert any(f["name"] == "engine" for f in eblow["options"]["fields"])
+
+
+def test_planners_verb_verbose_shows_options(capsys):
+    rc = main(["planners", "--verbose", "--kind", "1D"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ablated: bool" in out
+
+
+def test_plan_progress_streams_events(tmp_path, capsys):
+    out = tmp_path / "inst.json"
+    main(["generate", "--case", "1T-1", "--out", str(out)])
+    capsys.readouterr()
+    rc = main(["plan", "--instance", str(out), "--planner", "eblow", "--progress"])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "started" in captured and "finished" in captured
+    assert "lp_solve" in captured
+    assert "writing time" in captured  # the summary line still prints
+
+
+def test_plan_events_out_writes_jsonl(tmp_path, capsys):
+    out = tmp_path / "inst.json"
+    events_path = tmp_path / "events.jsonl"
+    main(["generate", "--case", "1T-1", "--out", str(out)])
+    rc = main(
+        ["plan", "--instance", str(out), "--planner", "greedy-1d",
+         "--events-out", str(events_path)]
+    )
+    assert rc == 0
+    lines = [json.loads(line) for line in events_path.read_text().splitlines()]
+    assert len(lines) >= 2
+    assert all(record["record"] == "event" for record in lines)
+    assert {record["type"] for record in lines} >= {"started", "finished"}
+
+
+def test_portfolio_cli_accepts_quality_stops(tmp_path, capsys):
+    rc = main(
+        ["portfolio", "--case", "1T-1", "--scale", "1.0", "--jobs", "2",
+         "--no-cache", "--target", "1e12", "--straggler-grace", "5"]
+    )
+    assert rc == 0
+    assert "winner:" in capsys.readouterr().out
+
+
+def test_plan_events_out_written_on_failure(tmp_path, capsys):
+    inst = tmp_path / "inst2d.json"
+    events_path = tmp_path / "fail-events.jsonl"
+    main(["generate", "--kind", "2D", "--characters", "20", "--stencil", "200",
+          "--out", str(inst)])
+    rc = main(
+        ["plan", "--instance", str(inst), "--planner", "greedy-1d",  # kind mismatch
+         "--events-out", str(events_path)]
+    )
+    assert rc == 1
+    assert "error" in capsys.readouterr().err
+    lines = [json.loads(line) for line in events_path.read_text().splitlines()]
+    assert {record["type"] for record in lines} >= {"started", "finished"}
