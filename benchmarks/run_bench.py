@@ -13,6 +13,10 @@ Usage::
     python benchmarks/run_bench.py --suite all     # every benchmark module
     REPRO_SCALE=0.2 python benchmarks/run_bench.py # larger instances
 
+    # Diff two trajectory files: prints a per-benchmark delta table and
+    # exits non-zero when any benchmark regressed by more than 20 %.
+    python benchmarks/run_bench.py --compare BENCH_OLD.json BENCH_NEW.json
+
 The instance scale is controlled by ``REPRO_SCALE`` / ``REPRO_PAPER_SCALE``
 exactly as for a direct pytest run (see ``benchmarks/conftest.py``).
 """
@@ -21,12 +25,16 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import json
 import os
 import pathlib
 import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: --compare fails (exit 1) when a benchmark's mean grows by more than this.
+REGRESSION_THRESHOLD = 0.20
 
 SUITES = {
     "micro": ["benchmarks/test_substrate_micro.py"],
@@ -47,6 +55,53 @@ SUITES = {
 }
 
 
+def _load_means(path: pathlib.Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"]) for bench in data["benchmarks"]
+    }
+
+
+def compare(old_path: pathlib.Path, new_path: pathlib.Path, threshold: float) -> int:
+    """Print a per-benchmark delta table; exit 1 on >``threshold`` regressions.
+
+    ``delta`` is relative to the old mean (positive = slower).  Benchmarks
+    present in only one file are listed but never fail the comparison —
+    renames and new coverage are not regressions.
+    """
+    old = _load_means(old_path)
+    new = _load_means(new_path)
+    names = sorted(set(old) | set(new))
+    width = max((len(name) for name in names), default=4)
+    print(f"{'benchmark':<{width}}  {'old (s)':>10}  {'new (s)':>10}  {'delta':>8}")
+    regressions = []
+    for name in names:
+        if name not in old:
+            print(f"{name:<{width}}  {'-':>10}  {new[name]:>10.4f}  {'new':>8}")
+            continue
+        if name not in new:
+            print(f"{name:<{width}}  {old[name]:>10.4f}  {'-':>10}  {'gone':>8}")
+            continue
+        delta = (new[name] - old[name]) / old[name] if old[name] > 0 else 0.0
+        flag = ""
+        if delta > threshold:
+            regressions.append((name, delta))
+            flag = "  <-- REGRESSION"
+        print(
+            f"{name:<{width}}  {old[name]:>10.4f}  {new[name]:>10.4f}  {delta:>+7.1%}{flag}"
+        )
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed by more than "
+            f"{threshold:.0%}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nno regressions beyond {threshold:.0%}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -54,6 +109,21 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SUITES),
         default="default",
         help="which benchmark modules to run (default: micro + tables)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        type=pathlib.Path,
+        default=None,
+        help="diff two BENCH_<date>.json files instead of running benchmarks "
+        f"(exit 1 on >{REGRESSION_THRESHOLD:.0%} mean-time regressions)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=REGRESSION_THRESHOLD,
+        help="relative regression that fails --compare (default 0.20)",
     )
     parser.add_argument(
         "--output",
@@ -67,6 +137,9 @@ def main(argv: list[str] | None = None) -> int:
         help="extra arguments forwarded to pytest (e.g. -k lp)",
     )
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        return compare(args.compare[0], args.compare[1], args.threshold)
 
     date = datetime.date.today().strftime("%Y%m%d")
     output = args.output or REPO_ROOT / f"BENCH_{date}.json"

@@ -1,17 +1,26 @@
 """Batch throughput — instances/second through the planning runtime.
 
-The cell the acceptance criteria watch: a 16-instance suite planned through
+The cells the acceptance criteria watch: a 16-instance suite planned through
 :func:`repro.runtime.run_jobs`, serially (``--jobs 1``, in-process) versus on
 the worker pool (``--jobs N``).  ``extra_info`` records
-``instances_per_second`` for each mode and the pooled entry also records the
-speedup over the measured serial run, so the ``BENCH_<date>.json`` trajectory
-captures batch throughput alongside the per-planner timings.
+``instances_per_second`` for each mode and the pooled entries also record the
+speedup over the measured serial run plus the machine's CPU count, so the
+``BENCH_<date>.json`` trajectory captures batch throughput alongside the
+per-planner timings — and a reader can tell a dispatch regression from a
+simply smaller machine (two workers on one CPU cannot beat one process).
 
 The workload is E-BLOW-0 (the ablated flow: successive rounding + post-swap,
 no hand-over ILP), which is deterministic by construction — pooled plans are
-asserted bit-identical to the serial ones.  On a multi-core box the pooled
-run should show near-linear speedup (the jobs are embarrassingly parallel);
-on a single-core CI runner it only checks that pool overhead is sane.
+asserted bit-identical to the serial ones.  Jobs cross the process boundary
+as thin descriptors in chunks; on a multi-core box the pooled run should
+show near-linear speedup (the jobs are embarrassingly parallel); on a
+single-core CI runner it only checks that pool overhead is sane.
+
+``test_batch_warm_pool_reuse`` times the same batch twice through one
+persistent :class:`~repro.runtime.PlannerPool`: the second pass skips
+process spawn, interpreter imports, and instance builds (worker-resident
+digest caches), which is the serving-path win the shared-memory arena and
+warm pools exist for.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import time
 
 import pytest
 
-from repro.runtime import PlannerSpec, grid_jobs, run_jobs
+from repro.runtime import PlannerPool, PlannerSpec, grid_jobs, run_jobs
 from repro.workloads import SUITE_1D, SUITE_1M
 
 # 12 standard 1D cases + the first 4 MCC cases at a second scale = 16 instances.
@@ -31,7 +40,7 @@ BATCH_PLANNER = {"e-blow-0": PlannerSpec("eblow-1d", {"ablated": True})}
 _serial: dict[float, tuple[float, list]] = {}
 
 
-_WALL_CLOCK_STATS = ("runtime_seconds", "lp_solve_seconds")
+_WALL_CLOCK_STATS = ("runtime_seconds", "lp_solve_seconds", "stage_seconds")
 
 
 def _strip_runtime(plan_dict: dict) -> dict:
@@ -48,8 +57,8 @@ def _batch_jobs(scale: float):
     return (jobs + extra)[:16]
 
 
-def _run(scale: float, workers: int) -> list:
-    results = run_jobs(_batch_jobs(scale), max_workers=workers)
+def _run(scale: float, workers: int, pool: PlannerPool | None = None) -> list:
+    results = run_jobs(_batch_jobs(scale), max_workers=workers, pool=pool)
     assert len(results) == 16
     assert all(r.ok for r in results)
     return results
@@ -63,6 +72,15 @@ def _serial_baseline(scale: float) -> tuple[float, list]:
     return _serial[scale]
 
 
+def _assert_bit_identical(serial_results, pooled) -> None:
+    # Pooled plans must be bit-identical to serial ones (scheduling only) —
+    # compare the actual plans, not just the objective scalars.
+    for a, b in zip(serial_results, pooled):
+        assert a.job_id == b.job_id
+        assert a.writing_time == b.writing_time
+        assert _strip_runtime(a.plan) == _strip_runtime(b.plan)
+
+
 def test_batch_throughput_serial(benchmark, scale):
     start = time.perf_counter()
     results = benchmark.pedantic(lambda: _run(scale, workers=1), rounds=1, iterations=1)
@@ -72,7 +90,7 @@ def test_batch_throughput_serial(benchmark, scale):
     benchmark.extra_info["instances_per_second"] = round(16.0 / _serial[scale][0], 3)
 
 
-@pytest.mark.parametrize("workers", [max(2, min(4, os.cpu_count() or 1))])
+@pytest.mark.parametrize("workers", [2, 4])
 def test_batch_throughput_parallel(benchmark, scale, workers):
     serial_seconds, serial_results = _serial_baseline(scale)
 
@@ -82,12 +100,37 @@ def test_batch_throughput_parallel(benchmark, scale, workers):
 
     benchmark.extra_info["jobs"] = workers
     benchmark.extra_info["instances"] = 16
+    benchmark.extra_info["cpus"] = os.cpu_count() or 1
     benchmark.extra_info["instances_per_second"] = round(16.0 / pooled_seconds, 3)
     benchmark.extra_info["speedup_vs_serial"] = round(serial_seconds / pooled_seconds, 3)
 
-    # Pooled plans must be bit-identical to serial ones (scheduling only) —
-    # compare the actual plans, not just the objective scalars.
-    for a, b in zip(serial_results, pooled):
-        assert a.job_id == b.job_id
-        assert a.writing_time == b.writing_time
-        assert _strip_runtime(a.plan) == _strip_runtime(b.plan)
+    _assert_bit_identical(serial_results, pooled)
+
+
+def test_batch_warm_pool_reuse(benchmark, scale):
+    """Second batch over a persistent pool: no spawn, no re-deserialization."""
+    serial_seconds, serial_results = _serial_baseline(scale)
+    workers = 2
+
+    with PlannerPool(max_workers=workers) as pool:
+        start = time.perf_counter()
+        _run(scale, workers=workers, pool=pool)  # cold: spawns + imports
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = benchmark.pedantic(
+            lambda: _run(scale, workers=workers, pool=pool), rounds=1, iterations=1
+        )
+        warm_seconds = time.perf_counter() - start
+
+    benchmark.extra_info["jobs"] = workers
+    benchmark.extra_info["instances"] = 16
+    benchmark.extra_info["cpus"] = os.cpu_count() or 1
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 3)
+    benchmark.extra_info["warm_speedup_vs_cold"] = round(cold_seconds / warm_seconds, 3)
+    benchmark.extra_info["warm_speedup_vs_serial"] = round(
+        serial_seconds / warm_seconds, 3
+    )
+
+    _assert_bit_identical(serial_results, warm)

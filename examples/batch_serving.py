@@ -1,9 +1,13 @@
 """Batch-serve a suite of instances through the planning runtime.
 
 Demonstrates the `repro.runtime` subsystem end to end: build a cases x
-planners grid, fan it out over worker processes with a result store and a
-telemetry manifest, re-run it to show cache hits, then race a portfolio of
-planner configs on a single instance.
+planners grid, fan it out over one **warm worker pool** with a result store
+and a telemetry manifest, re-run it to show cache hits (same pool, zero
+respawn), then race a portfolio of planner configs on a single instance.
+
+Inline instances would ship through the pool's shared-memory arena exactly
+once; named cases (used here) travel as thin descriptors and are memoised
+by digest inside each worker.
 
 Run with::
 
@@ -15,6 +19,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import repro
 from repro.runtime import (
     PlannerSpec,
     ResultStore,
@@ -36,17 +41,18 @@ def main() -> None:
     }
     jobs = grid_jobs(["1T-1", "1T-2", "1T-3", "1T-4", "1T-5"], planners, scale=1.0)
 
-    print(f"cold batch: {len(jobs)} jobs on 2 workers")
-    for result in run_jobs(jobs, max_workers=2, store=store, telemetry=telemetry):
-        print(
-            f"  {result.case:>5} {result.label:<7} T={result.writing_time:7.0f} "
-            f"chars={result.num_selected:2d} pid={result.worker_pid}"
-        )
+    with repro.planner_pool(max_workers=2) as pool:
+        print(f"cold batch: {len(jobs)} jobs on 2 workers")
+        for result in run_jobs(jobs, pool=pool, store=store, telemetry=telemetry):
+            print(
+                f"  {result.case:>5} {result.label:<7} T={result.writing_time:7.0f} "
+                f"chars={result.num_selected:2d} pid={result.worker_pid}"
+            )
 
-    print("warm batch: same grid, served from the store")
-    for result in run_jobs(jobs, max_workers=2, store=store, telemetry=telemetry):
-        assert result.cache_hit
-    print(f"  summary: {telemetry.summary()}")
+        print("warm batch: same grid, same pool, served from the store")
+        for result in run_jobs(jobs, pool=pool, store=store, telemetry=telemetry):
+            assert result.cache_hit
+        print(f"  summary: {telemetry.summary()}")
 
     print("portfolio race on 1M-1 (scaled down, straggler-aware)")
     # straggler_grace consumes the entrants' PlanEvent streams: once the

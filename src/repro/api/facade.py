@@ -23,7 +23,30 @@ from repro.api.lifecycle import PlanningError, PlanRequest, PlanResult
 from repro.errors import ValidationError
 from repro.events import EventSink, PlanEvent, emitting, guarded_sink
 
-__all__ = ["plan", "submit"]
+__all__ = ["plan", "submit", "planner_pool"]
+
+
+def planner_pool(max_workers: int, retries: int = 0, chunksize: int | None = None):
+    """A warm worker pool for serving many plans without per-batch spawn.
+
+    The returned :class:`~repro.runtime.pool.PlannerPool` keeps its worker
+    processes — and their per-instance caches — alive across successive
+    :func:`repro.runtime.run_jobs` / :func:`repro.runtime.run_portfolio`
+    calls (pass it as ``pool=``).  Inline instances ship through the pool's
+    shared-memory arena exactly once, and jobs cross the process boundary as
+    thin descriptors in chunks.  Use as a context manager (or call
+    ``close()``) so workers and arena segments are reclaimed::
+
+        import repro
+        from repro.runtime import grid_jobs, run_jobs
+
+        with repro.planner_pool(max_workers=4) as pool:
+            first = run_jobs(grid_jobs(["1M-1", "1M-2"], {"e": "eblow-1d"}), pool=pool)
+            again = run_jobs(grid_jobs(["1M-1"], {"g": "greedy-1d"}), pool=pool)
+    """
+    from repro.runtime.pool import PlannerPool
+
+    return PlannerPool(max_workers=max_workers, retries=retries, chunksize=chunksize)
 
 
 def plan(

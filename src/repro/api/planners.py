@@ -50,10 +50,12 @@ def _build_eblow_1d(options: dict):
 
     config = EBlow1DConfig.ablated() if options.get("ablated") else EBlow1DConfig()
     if options.get("deterministic"):
-        # The fast-convergence ILP's wall-clock cap is the one load-dependent
-        # knob in the flow; dropping it (the deterministic 2% MIP gap and the
-        # variable cap still bound the solve) makes plans reproducible across
-        # schedulers, which batch serving and the result store rely on.
+        # Historically this dropped the fast-convergence ILP's 5-second
+        # wall-clock cap.  The flow is deterministic by default now (the ILP
+        # stops on a relative MIP gap instead of wall clock); the option is
+        # kept so existing specs — and their job hashes / store keys — stay
+        # valid, and it still guarantees no cap even if a caller's config
+        # reintroduced one.
         config.convergence = replace(config.convergence, time_limit=None)
     return EBlow1DPlanner(config)
 
@@ -193,11 +195,12 @@ STABLE_PLANNERS: tuple[PlannerHandle, ...] = (
             description="E-BLOW 1DOSP flow (option ablated=true gives E-BLOW-0)",
             capabilities=PlannerCapabilities(
                 kind="1D",
-                # The fast-convergence ILP carries a wall-clock cap by default,
-                # so plans can vary under load unless deterministic=true.
-                deterministic=False,
+                # The fast-convergence ILP stops on a relative MIP gap (no
+                # wall-clock cap), so the whole flow is reproducible across
+                # machines and load.
+                deterministic=True,
                 supports_warm_start=True,
-                event_types=("stage", "lp_solve", "iteration"),
+                event_types=("stage", "stage_done", "lp_solve", "iteration"),
             ),
             schema=OptionSchema(
                 fields=(
@@ -211,7 +214,10 @@ STABLE_PLANNERS: tuple[PlannerHandle, ...] = (
                         name="deterministic",
                         type="bool",
                         default=False,
-                        description="drop the load-dependent ILP wall-clock cap",
+                        description=(
+                            "kept for compatibility: the flow is deterministic "
+                            "by default now (gap-based ILP stop, no wall clock)"
+                        ),
                     ),
                 )
             ),
@@ -256,7 +262,7 @@ STABLE_PLANNERS: tuple[PlannerHandle, ...] = (
             capabilities=PlannerCapabilities(
                 kind="2D",
                 supports_engine=True,
-                event_types=("stage",) + _ANNEAL_EVENTS,
+                event_types=("stage", "stage_done") + _ANNEAL_EVENTS,
             ),
             schema=OptionSchema(
                 fields=(

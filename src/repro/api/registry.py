@@ -215,8 +215,9 @@ class PlannerCapabilities:
 
     ``kind`` is ``"1D"``, ``"2D"``, or ``None`` for kind-agnostic planners.
     ``deterministic`` means identical inputs give bit-identical plans under
-    the planner's *default* options (E-BLOW-1D is only deterministic with its
-    ``deterministic`` option, so it declares ``False`` here).
+    the planner's *default* options regardless of machine load (the
+    time-limited exact ILP planners return whatever incumbent the wall
+    clock allowed, so they declare ``False``).
     """
 
     kind: str | None = None

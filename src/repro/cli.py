@@ -123,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="planner to run on every case (repeatable; default: eblow)",
     )
     batch.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    batch.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="job descriptors per worker dispatch (default: sized to the "
+        "batch and worker counts; larger amortises IPC, smaller streams "
+        "results sooner)",
+    )
     batch.add_argument("--scale", type=float, default=None)
     batch.add_argument("--timeout", type=float, default=None, help="per-job wall-clock seconds")
     batch.add_argument("--retries", type=int, default=0, help="re-runs for failed/timed-out jobs")
@@ -358,7 +366,14 @@ def _batch_store(args):
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.runtime import PlannerSpec, Telemetry, grid_jobs, iter_jobs, list_planners
+    from repro.runtime import (
+        PlannerPool,
+        PlannerSpec,
+        Telemetry,
+        grid_jobs,
+        iter_jobs,
+        list_planners,
+    )
     from repro.workloads import resolve_cases
 
     if args.list_planners:
@@ -391,20 +406,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     results = []
-    for result in iter_jobs(
-        grid, max_workers=args.jobs, retries=args.retries, store=store, telemetry=telemetry
-    ):
-        results.append(result)
-        if not args.json:
-            origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
-            line = (
-                f"[{len(results):>3}/{len(grid)}] {result.case:>6} {result.label:<12} "
-                f"{result.status:<7} ({origin}, {result.wall_seconds:.2f}s"
-            )
-            if result.ok:
-                line += f", T={result.writing_time:.0f}, chars={result.num_selected}"
-            line += ")"
-            print(line, flush=True)
+    # One explicit warm pool for the whole invocation: workers (and their
+    # per-digest instance caches) persist across every chunk of the grid,
+    # and shutdown reclaims the arena segments deterministically.
+    pool = PlannerPool(
+        max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
+    )
+    with pool:
+        for result in iter_jobs(grid, store=store, telemetry=telemetry, pool=pool):
+            results.append(result)
+            if not args.json:
+                origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
+                line = (
+                    f"[{len(results):>3}/{len(grid)}] {result.case:>6} {result.label:<12} "
+                    f"{result.status:<7} ({origin}, {result.wall_seconds:.2f}s"
+                )
+                if result.ok:
+                    line += f", T={result.writing_time:.0f}, chars={result.num_selected}"
+                line += ")"
+                print(line, flush=True)
     wall = time.perf_counter() - start
 
     summary = telemetry.summary()

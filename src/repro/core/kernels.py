@@ -13,6 +13,13 @@ selection.
 The kernels are cached per instance (instances are immutable, so the cache
 is never invalidated) and are cross-checked against the scalar
 implementations by property tests in ``tests/core/test_kernels.py``.
+
+In pool workers the underlying arrays may be **shared-memory views**
+installed by :meth:`repro.model.OSPInstance.adopt_array_cache` (see
+:mod:`repro.runtime.arena`) rather than locally computed: same values, same
+read-only contract, zero copies.  Kernel code must treat the arrays as
+immutable inputs — any derived mutable state belongs in fresh arrays (which
+is what :class:`RunningTimes` and every ``region_times`` call already do).
 """
 
 from __future__ import annotations

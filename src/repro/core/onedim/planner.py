@@ -32,7 +32,7 @@ from repro.core.onedim.successive_rounding import (
 )
 from repro.core.profits import compute_profits
 from repro.errors import ValidationError
-from repro.events import emit
+from repro.events import timed_stage
 from repro.model import OSPInstance, StencilPlan
 from repro.model.writing_time import evaluate_plan
 
@@ -80,28 +80,34 @@ class EBlow1DPlanner:
             )
         start = time.perf_counter()
         config = self.config
+        # Wall-clock seconds per pipeline stage: the breakdown that makes a
+        # slow cell attributable (it is what exposed the old fast-convergence
+        # wall-clock cap pinning four benchmark cells at exactly 5 s).
+        stage_seconds: dict[str, float] = {}
 
         # Stage 1+2: selection and row assignment under the S-Blank model.
-        emit("stage", name="successive_rounding")
-        state = initial_state(instance)
-        successive_rounding(state, config.rounding)
+        with timed_stage("successive_rounding", stage_seconds):
+            state = initial_state(instance)
+            successive_rounding(state, config.rounding)
         if config.use_fast_convergence:
-            emit("stage", name="fast_convergence", unsolved=len(state.unsolved))
-            fast_ilp_convergence(state, config.convergence)
+            with timed_stage(
+                "fast_convergence", stage_seconds, unsolved=len(state.unsolved)
+            ):
+                fast_ilp_convergence(state, config.convergence)
 
         # Stage 3: exact re-ordering per row, evicting overflow if needed.
-        emit("stage", name="refinement")
-        rows, evicted = self._refine_rows(instance, state)
+        with timed_stage("refinement", stage_seconds):
+            rows, evicted = self._refine_rows(instance, state)
 
         # Stages 4-5: post optimization.
         swaps = 0
         inserted = 0
         if config.use_post_swap:
-            emit("stage", name="post_swap")
-            rows, swaps = post_swap(instance, rows, config.swap)
+            with timed_stage("post_swap", stage_seconds):
+                rows, swaps = post_swap(instance, rows, config.swap)
         if config.use_post_insertion:
-            emit("stage", name="post_insertion")
-            rows, inserted = post_insertion(instance, rows, config.insertion)
+            with timed_stage("post_insertion", stage_seconds):
+                rows, inserted = post_insertion(instance, rows, config.insertion)
 
         plan = StencilPlan.from_rows(instance, rows)
         plan.validate()
@@ -114,6 +120,7 @@ class EBlow1DPlanner:
                 "writing_time": report.total,
                 "num_selected": report.num_selected,
                 "lp_iterations": state.lp_iterations,
+                "stage_seconds": dict(stage_seconds),
                 "lp_solve_seconds": [round(t, 6) for t in state.lp_solve_seconds],
                 "lp_warm_hinted": state.lp_warm_hinted,
                 "unsolved_history": list(state.unsolved_history),

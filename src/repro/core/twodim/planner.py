@@ -21,7 +21,7 @@ from repro.core.twodim.clustering import (
 )
 from repro.core.twodim.prefilter import PreFilterConfig, prefilter_characters
 from repro.errors import ValidationError
-from repro.events import emit
+from repro.events import timed_stage
 from repro.floorplan import AnnealingSchedule, FixedOutlinePacker
 from repro.model import OSPInstance, Placement2D, StencilPlan
 from repro.model.writing_time import evaluate_plan
@@ -75,63 +75,65 @@ class EBlow2DPlanner:
             )
         start = time.perf_counter()
         config = self.config
+        stage_seconds: dict[str, float] = {}
+
         profits = compute_profits(instance)
 
         # Stage 1: pre-filter.
-        emit("stage", name="prefilter")
-        if config.use_prefilter:
-            kept = prefilter_characters(instance, config.prefilter)
-        else:
-            kept = [i for i in range(instance.num_characters) if profits[i] > 0]
-        kept_characters = [instance.characters[i] for i in kept]
-        kept_profits = [profits[i] for i in kept]
+        with timed_stage("prefilter", stage_seconds):
+            if config.use_prefilter:
+                kept = prefilter_characters(instance, config.prefilter)
+            else:
+                kept = [i for i in range(instance.num_characters) if profits[i] > 0]
+            kept_characters = [instance.characters[i] for i in kept]
+            kept_profits = [profits[i] for i in kept]
 
         # Stage 2: clustering.
-        emit("stage", name="clustering", kept=len(kept))
-        if config.use_clustering:
-            clusters = cluster_characters(kept_characters, kept_profits, config.clustering)
-        else:
+        with timed_stage("clustering", stage_seconds, kept=len(kept)):
+            if config.use_clustering:
+                clusters = cluster_characters(kept_characters, kept_profits, config.clustering)
+            else:
+                clusters = [
+                    CharacterCluster.singleton(ch, p)
+                    for ch, p in zip(kept_characters, kept_profits)
+                ]
+            # Drop clusters that cannot possibly fit inside the outline.
             clusters = [
-                CharacterCluster.singleton(ch, p)
-                for ch, p in zip(kept_characters, kept_profits)
+                cl
+                for cl in clusters
+                if cl.width <= instance.stencil.width + 1e-9
+                and cl.height <= instance.stencil.height + 1e-9
             ]
-        # Drop clusters that cannot possibly fit inside the outline.
-        clusters = [
-            cl
-            for cl in clusters
-            if cl.width <= instance.stencil.width + 1e-9
-            and cl.height <= instance.stencil.height + 1e-9
-        ]
 
         # Stage 3: fixed-outline annealing over the clusters.
-        emit("stage", name="annealing", clusters=len(clusters))
-        blocks = {cl.name: cl.to_block() for cl in clusters}
-        cluster_by_name = {cl.name: cl for cl in clusters}
-        time_model = ClusterTimeModel(instance, cluster_by_name)
-        packer = FixedOutlinePacker(
-            width=instance.stencil.width,
-            height=instance.stencil.height,
-            blocks=blocks,
-            writing_time_of=time_model,
-            time_model=time_model,
-        )
-        schedule = config.resolved_schedule(len(blocks))
-        initial_pair = _shelf_initial_pair(clusters, instance.stencil.width)
-        result = packer.pack(
-            schedule=schedule,
-            seed=config.seed,
-            initial=initial_pair,
-            engine=config.engine,
-        )
+        with timed_stage("annealing", stage_seconds, clusters=len(clusters)):
+            blocks = {cl.name: cl.to_block() for cl in clusters}
+            cluster_by_name = {cl.name: cl for cl in clusters}
+            time_model = ClusterTimeModel(instance, cluster_by_name)
+            packer = FixedOutlinePacker(
+                width=instance.stencil.width,
+                height=instance.stencil.height,
+                blocks=blocks,
+                writing_time_of=time_model,
+                time_model=time_model,
+            )
+            schedule = config.resolved_schedule(len(blocks))
+            initial_pair = _shelf_initial_pair(clusters, instance.stencil.width)
+            result = packer.pack(
+                schedule=schedule,
+                seed=config.seed,
+                initial=initial_pair,
+                engine=config.engine,
+            )
 
         # Stage 4: unfold clusters into per-character placements.
-        emit("stage", name="unfold", inside=len(result.inside))
-        placements: list[Placement2D] = []
-        for cluster_name, (x, y) in result.inside.items():
-            cluster = cluster_by_name[cluster_name]
-            for member in cluster.members:
-                ox, oy = cluster.offsets[member.name]
-                placements.append(Placement2D(name=member.name, x=x + ox, y=y + oy))
+        with timed_stage("unfold", stage_seconds, inside=len(result.inside)):
+            placements: list[Placement2D] = []
+            for cluster_name, (x, y) in result.inside.items():
+                cluster = cluster_by_name[cluster_name]
+                for member in cluster.members:
+                    ox, oy = cluster.offsets[member.name]
+                    placements.append(Placement2D(name=member.name, x=x + ox, y=y + oy))
 
         plan = StencilPlan(instance=instance, placements2d=placements)
         plan.validate()
@@ -141,6 +143,7 @@ class EBlow2DPlanner:
             {
                 "algorithm": "e-blow-2d",
                 "runtime_seconds": elapsed,
+                "stage_seconds": dict(stage_seconds),
                 "writing_time": report.total,
                 "num_selected": report.num_selected,
                 "num_prefiltered": len(kept),

@@ -69,6 +69,7 @@ def result_from_plan(
             in (
                 "lp_iterations",
                 "lp_solve_seconds",
+                "stage_seconds",
                 "lp_warm_hinted",
                 "post_swaps",
                 "post_insertions",

@@ -33,6 +33,7 @@ __all__ = [
     "emitting",
     "events_enabled",
     "guarded_sink",
+    "timed_stage",
 ]
 
 #: The event vocabulary.  ``payload`` keys are per-type conventions, not a
@@ -43,6 +44,7 @@ __all__ = [
 #: ==============  ============================================================
 #: ``started``     a planning run began — ``planner``, ``case``
 #: ``stage``       a pipeline stage began — ``name`` (e.g. ``"annealing"``)
+#: ``stage_done``  a pipeline stage finished — ``name``, ``seconds``
 #: ``lp_solve``    one LP relaxation solved — ``seconds``, ``warm``,
 #:                 ``unsolved``
 #: ``iteration``   one successive-rounding iteration — ``iteration``,
@@ -56,6 +58,7 @@ __all__ = [
 EVENT_TYPES = (
     "started",
     "stage",
+    "stage_done",
     "lp_solve",
     "iteration",
     "temperature",
@@ -151,6 +154,27 @@ def emit(type: str, **payload) -> None:
             scope.sink(event)
         except Exception:  # noqa: BLE001 — a broken sink must not kill the run
             scope.broken = True
+
+
+@contextmanager
+def timed_stage(name: str, seconds_by_stage: dict, **payload) -> Iterator[None]:
+    """Bracket one pipeline stage with ``stage`` / ``stage_done`` events.
+
+    Emits ``stage`` (with ``payload``) on entry; on exit — including error
+    exits — records the stage's wall-clock seconds into
+    ``seconds_by_stage[name]`` (rounded to µs, the planners' stats
+    precision) and emits ``stage_done`` with the exact value.  This is the
+    single implementation behind every planner's ``stats["stage_seconds"]``
+    breakdown, so the payload shape cannot drift between flows.
+    """
+    emit("stage", name=name, **payload)
+    begin = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - begin
+        seconds_by_stage[name] = round(seconds, 6)
+        emit("stage_done", name=name, seconds=seconds)
 
 
 def guarded_sink(sink: EventSink | None) -> EventSink | None:

@@ -11,11 +11,18 @@ data structure from scratch:
 * orthogonal range search (``query_range``),
 * lazy deletion (``remove``) — clustered characters are masked out without
   rebuilding the tree, matching how Algorithm 4 consumes candidates.
+
+Every subtree maintains a tight bounding box over its *live* points
+(refreshed in the same pass that maintains live counts), and both
+``query_range`` and ``nearest`` prune descents against it — results and
+their order are identical to the unpruned search, only the visited-node
+count shrinks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Generic, Hashable, Iterable, Sequence, TypeVar
 
 from repro.errors import ValidationError
@@ -33,7 +40,20 @@ class _Node(Generic[T]):
     deleted: bool = False
     left: "_Node[T] | None" = None
     right: "_Node[T] | None" = None
+    # Parent link (None at the root): lazy deletion and insertion update the
+    # maintained aggregates along the root path only — O(depth) per
+    # mutation, not O(n).  Excluded from repr/compare to avoid the cycle.
+    parent: "_Node[T] | None" = dataclass_field(
+        default=None, repr=False, compare=False
+    )
     subtree_size: int = 1  # live (non-deleted) nodes in this subtree
+    # Tight per-coordinate bounds over the *live* points of this subtree
+    # (None while the subtree has no live points).  Range queries prune any
+    # descent whose subtree box is disjoint from the query box, which is the
+    # difference between visiting O(n) nodes and O(sqrt(n) + k) for the
+    # narrow windows the clustering step issues.
+    bbox_lo: tuple[float, ...] | None = None
+    bbox_hi: tuple[float, ...] | None = None
 
 
 class KDTree(Generic[T]):
@@ -90,7 +110,11 @@ class KDTree(Generic[T]):
         self._payload_to_node[payload] = node
         node.left = self._build_recursive(items[:median], depth + 1)
         node.right = self._build_recursive(items[median + 1 :], depth + 1)
+        for child in (node.left, node.right):
+            if child is not None:
+                child.parent = node
         node.subtree_size = 1 + _live_size(node.left) + _live_size(node.right)
+        _recompute_bbox(node)
         return node
 
     # ------------------------------------------------------------------ #
@@ -105,7 +129,7 @@ class KDTree(Generic[T]):
             )
         if payload in self._payload_to_node and not self._payload_to_node[payload].deleted:
             raise ValidationError(f"payload {payload!r} already present")
-        new_node = _Node(point=point, payload=payload, axis=0)
+        new_node = _Node(point=point, payload=payload, axis=0, bbox_lo=point, bbox_hi=point)
         if self._root is None:
             self._root = new_node
         else:
@@ -118,11 +142,13 @@ class KDTree(Generic[T]):
                 child = getattr(node, branch)
                 if child is None:
                     new_node.axis = (axis + 1) % self.dimensions
+                    new_node.parent = node
                     setattr(node, branch, new_node)
                     break
                 node = child
             for ancestor in path:
                 ancestor.subtree_size += 1
+                _extend_bbox(ancestor, point)
         self._payload_to_node[payload] = new_node
         self._size += 1
 
@@ -138,22 +164,17 @@ class KDTree(Generic[T]):
             return False
         node.deleted = True
         self._size -= 1
-        self._refresh_counts()
+        # Lazy deletion keeps the structure intact; only the aggregates on
+        # the root path change — live counts and tight live bounding boxes
+        # are repaired in O(depth), so range queries can prune fully-deleted
+        # *and* out-of-window subtrees without a full-tree refresh per
+        # removal (the clustering step removes a point per cluster member).
+        current: _Node[T] | None = node
+        while current is not None:
+            current.subtree_size -= 1
+            _recompute_bbox(current)
+            current = current.parent
         return True
-
-    def _refresh_counts(self) -> None:
-        # Lazy deletion keeps the structure intact; recompute live counts so
-        # range queries can prune fully-deleted subtrees.  Amortised this is
-        # cheap because clustering removes many points between rebuilds.
-        def recompute(node: _Node[T] | None) -> int:
-            if node is None:
-                return 0
-            node.subtree_size = (
-                (0 if node.deleted else 1) + recompute(node.left) + recompute(node.right)
-            )
-            return node.subtree_size
-
-        recompute(self._root)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -186,6 +207,25 @@ class KDTree(Generic[T]):
     ) -> None:
         if node is None or node.subtree_size == 0:
             return
+        # Subtree bounding-box pruning, two-sided: a live subtree whose tight
+        # box is *disjoint* from the query window contributes nothing (stop);
+        # one whose box is *contained* in the window contributes every live
+        # point (collect without any further coordinate tests).  Both short
+        # cuts preserve the unpruned search's depth-first output order.
+        box_lo = node.bbox_lo
+        if box_lo is not None:
+            box_hi = node.bbox_hi
+            inside = True
+            for d in range(self.dimensions):
+                window_lo = lo[d]
+                window_hi = hi[d]
+                if box_hi[d] < window_lo or window_hi < box_lo[d]:
+                    return
+                if box_lo[d] < window_lo or window_hi < box_hi[d]:
+                    inside = False
+            if inside:
+                _collect_live(node, out)
+                return
         axis = node.axis
         value = node.point[axis]
         if not node.deleted and all(
@@ -212,6 +252,15 @@ class KDTree(Generic[T]):
     ) -> None:
         if node is None or node.subtree_size == 0:
             return
+        if node.bbox_lo is not None:
+            # No live point in this subtree can beat the incumbent if even
+            # the box's closest face is already at least as far away.
+            box_dist = 0.0
+            for d in range(self.dimensions):
+                gap = max(node.bbox_lo[d] - point[d], 0.0, point[d] - node.bbox_hi[d])
+                box_dist += gap * gap
+            if box_dist >= best[1]:
+                return
         if not node.deleted:
             dist_sq = sum((a - b) ** 2 for a, b in zip(node.point, point))
             if dist_sq < best[1]:
@@ -241,3 +290,43 @@ class KDTree(Generic[T]):
 
 def _live_size(node: _Node | None) -> int:
     return 0 if node is None else node.subtree_size
+
+
+def _recompute_bbox(node: _Node) -> None:
+    """Tight live bounds of ``node``'s subtree from its point + child boxes."""
+    lo = hi = None
+    if not node.deleted:
+        lo = hi = node.point
+    for child in (node.left, node.right):
+        if child is None or child.bbox_lo is None:
+            continue
+        if lo is None:
+            lo, hi = child.bbox_lo, child.bbox_hi
+        else:
+            lo = tuple(min(a, b) for a, b in zip(lo, child.bbox_lo))
+            hi = tuple(max(a, b) for a, b in zip(hi, child.bbox_hi))
+    node.bbox_lo, node.bbox_hi = lo, hi
+
+
+def _collect_live(node: _Node | None, out: list) -> None:
+    """Append every live payload of the subtree in depth-first order.
+
+    Matches the visit order of the filtered search exactly (node, then left,
+    then right), so the fully-inside fast path is indistinguishable from the
+    per-point test in output.
+    """
+    if node is None or node.subtree_size == 0:
+        return
+    if not node.deleted:
+        out.append(node.payload)
+    _collect_live(node.left, out)
+    _collect_live(node.right, out)
+
+
+def _extend_bbox(node: _Node, point: tuple[float, ...]) -> None:
+    """Grow ``node``'s subtree box to cover a newly inserted live point."""
+    if node.bbox_lo is None:
+        node.bbox_lo = node.bbox_hi = point
+    else:
+        node.bbox_lo = tuple(min(a, b) for a, b in zip(node.bbox_lo, point))
+        node.bbox_hi = tuple(max(a, b) for a, b in zip(node.bbox_hi, point))

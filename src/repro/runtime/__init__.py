@@ -4,8 +4,12 @@ This package turns the single-shot planners into a batch-serving engine:
 
 * :mod:`repro.runtime.jobs`      — declarative :class:`PlanJob` specs with
   deterministic content-hash identities and the shared execution path,
-* :mod:`repro.runtime.pool`      — :class:`PlannerPool`, a process-pool
-  executor with per-job timeouts, retries, and ordered result streaming,
+* :mod:`repro.runtime.arena`     — shared-memory instance arena: each
+  distinct instance's kernel arrays + canonical JSON cross the process
+  boundary once, workers attach zero-copy read-only views,
+* :mod:`repro.runtime.pool`      — :class:`PlannerPool`, a warm process-pool
+  executor with chunked descriptor dispatch, per-job timeouts, retries, and
+  ordered result streaming (:func:`shared_pool` for process-wide reuse),
 * :mod:`repro.runtime.engine`    — store-aware batch orchestration
   (:func:`grid_jobs` / :func:`run_jobs` / :func:`iter_jobs`),
 * :mod:`repro.runtime.portfolio` — racing several planner configs on one
@@ -14,8 +18,10 @@ This package turns the single-shot planners into a batch-serving engine:
 * :mod:`repro.runtime.telemetry` — JSONL run manifests.
 """
 
+from repro.runtime.arena import ArenaRef, InstanceArena, instance_digest
 from repro.runtime.engine import grid_jobs, iter_jobs, run_jobs
 from repro.runtime.jobs import (
+    JobDescriptor,
     JobResult,
     JobTimeoutError,
     PlanJob,
@@ -25,7 +31,13 @@ from repro.runtime.jobs import (
     register_planner,
     resolve_planner,
 )
-from repro.runtime.pool import EventRelay, PlannerPool, default_workers
+from repro.runtime.pool import (
+    EventRelay,
+    PlannerPool,
+    close_shared_pools,
+    default_workers,
+    shared_pool,
+)
 from repro.runtime.portfolio import PortfolioOutcome, portfolio_jobs, run_portfolio
 from repro.runtime.store import ResultStore, code_version, default_cache_dir
 from repro.runtime.telemetry import Telemetry, read_manifest, summarize_manifest
@@ -33,15 +45,21 @@ from repro.runtime.telemetry import Telemetry, read_manifest, summarize_manifest
 __all__ = [
     "PlanJob",
     "PlannerSpec",
+    "JobDescriptor",
     "JobResult",
     "JobTimeoutError",
     "execute_job",
     "register_planner",
     "resolve_planner",
     "list_planners",
+    "ArenaRef",
+    "InstanceArena",
+    "instance_digest",
     "PlannerPool",
     "EventRelay",
     "default_workers",
+    "shared_pool",
+    "close_shared_pools",
     "grid_jobs",
     "iter_jobs",
     "run_jobs",

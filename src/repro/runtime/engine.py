@@ -62,12 +62,23 @@ def iter_jobs(
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
     on_event: Callable[[PlanEvent], None] | None = None,
+    pool: PlannerPool | None = None,
+    chunksize: int | None = None,
 ) -> Iterator[JobResult]:
     """Stream results for ``jobs`` in submission order.
 
     Store hits never touch the pool; a pool is only spun up if at least one
     job misses.  Fresh ``ok`` results are persisted before they are yielded,
     so a consumer that stops early still leaves a warm cache behind.
+
+    ``pool`` hands in a caller-owned (typically warm) :class:`PlannerPool`;
+    it is reused as-is — workers, per-worker instance caches, and arena
+    segments stay hot — and is *not* shut down when the iteration ends
+    (``max_workers`` / ``retries`` are ignored in that case).  Without it a
+    private pool is created for the call and torn down afterwards.
+
+    ``chunksize`` pins how many job descriptors ride in one worker dispatch
+    (default: sized automatically from the batch and worker counts).
 
     ``on_event`` receives every :class:`~repro.events.PlanEvent` the running
     planners emit, label-stamped; with worker processes the stream crosses
@@ -84,32 +95,37 @@ def iter_jobs(
         else:
             misses.append((index, job))
 
-    workers = min(max(1, max_workers), max(1, len(misses)))
+    owns_pool = pool is None
+    if owns_pool:
+        workers = min(max(1, max_workers), max(1, len(misses)))
+        pool = PlannerPool(max_workers=workers, retries=retries)
     relay: EventRelay | None = None
-    if on_event is not None and workers > 1 and misses:
+    if on_event is not None and not pool.inline and misses:
         relay = EventRelay(on_event)
     try:
-        with PlannerPool(max_workers=workers, retries=retries) as pool:
-            miss_results = (
-                pool.imap(
-                    [job for _, job in misses],
-                    event_queue=relay.queue if relay is not None else None,
-                    on_event=on_event if pool.inline else None,
-                )
-                if misses
-                else iter(())
+        miss_results = (
+            pool.imap(
+                [job for _, job in misses],
+                event_queue=relay.queue if relay is not None else None,
+                on_event=on_event if pool.inline else None,
+                chunksize=chunksize,
             )
-            for index, job in enumerate(jobs):
-                if index in hits:
-                    result = hits[index]
-                else:
-                    result = next(miss_results)
-                    if store is not None:
-                        store.put(job, result)
-                if telemetry is not None:
-                    telemetry.record(result)
-                yield result
+            if misses
+            else iter(())
+        )
+        for index, job in enumerate(jobs):
+            if index in hits:
+                result = hits[index]
+            else:
+                result = next(miss_results)
+                if store is not None:
+                    store.put(job, result)
+            if telemetry is not None:
+                telemetry.record(result)
+            yield result
     finally:
+        if owns_pool:
+            pool.shutdown(wait=True)
         if relay is not None:
             relay.close()
 
@@ -121,6 +137,8 @@ def run_jobs(
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
     on_event: Callable[[PlanEvent], None] | None = None,
+    pool: PlannerPool | None = None,
+    chunksize: int | None = None,
 ) -> list[JobResult]:
     """Run all jobs and return results in submission order."""
     return list(
@@ -131,5 +149,7 @@ def run_jobs(
             store=store,
             telemetry=telemetry,
             on_event=on_event,
+            pool=pool,
+            chunksize=chunksize,
         )
     )

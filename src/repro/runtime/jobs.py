@@ -46,10 +46,12 @@ from repro.evaluation.metrics import AlgorithmResult, result_from_plan
 from repro.events import emit
 from repro.io.serialization import canonical_json
 from repro.model import OSPInstance, StencilPlan
+from repro.runtime.arena import ArenaRef, InstanceArena, attached_instance
 
 __all__ = [
     "PlannerSpec",
     "PlanJob",
+    "JobDescriptor",
     "JobResult",
     "JobTimeoutError",
     "execute_job",
@@ -149,16 +151,108 @@ class PlanJob:
         return _digest({"instance": self.instance_hash, "config": self.config_hash})[:16]
 
     def resolve_instance(self) -> OSPInstance:
-        """Materialise the instance (builds named cases deterministically)."""
+        """Materialise the instance (builds named cases deterministically).
+
+        Named cases are memoised per process: instances are immutable and
+        case generation is deterministic, so a warm pool worker (or the
+        inline path) that plans the same case under several planner columns
+        builds it — and its kernel-array cache — once instead of per job.
+        """
         if self.instance is not None:
             return self.instance
-        from repro.workloads import build_instance
+        return _cached_case_instance(self.case, float(self.scale))
 
-        return build_instance(self.case, self.scale)
+    def describe(self, arena: InstanceArena | None = None) -> "JobDescriptor":
+        """The thin, picklable descriptor the pool ships to workers.
+
+        Inline instances are exported into ``arena`` (each distinct digest at
+        most once) so the descriptor carries only an :class:`ArenaRef`; the
+        precomputed content hashes ride along so the worker-side rebuild has
+        byte-identical identity — store keys and job ids never depend on
+        which side of the process boundary resolved the job.
+        """
+        ref = None
+        if self.instance is not None:
+            if arena is None:
+                raise ValidationError(
+                    "inline-instance jobs need an InstanceArena to describe"
+                )
+            ref = arena.export(self.instance, digest=self.instance_hash)
+        return JobDescriptor(
+            spec=self.spec,
+            case=self.case,
+            scale=self.scale,
+            timeout=self.timeout,
+            label=self.label,
+            arena_ref=ref,
+            instance_hash=self.instance_hash,
+            config_hash=self.config_hash,
+            job_id=self.job_id,
+        )
+
+
+@dataclass(frozen=True)
+class JobDescriptor:
+    """What actually crosses the process boundary: spec + digests, no bulk.
+
+    ``rebuild`` reconstitutes an equivalent :class:`PlanJob` in the worker —
+    named cases resolve through the per-process memo, arena-backed instances
+    attach zero-copy — and seeds the job's cached content hashes from the
+    parent so identities match exactly.
+    """
+
+    spec: PlannerSpec
+    case: str | None
+    scale: float | None
+    timeout: float | None
+    label: str | None
+    arena_ref: ArenaRef | None
+    instance_hash: str
+    config_hash: str
+    job_id: str
+
+    def rebuild(self) -> PlanJob:
+        instance = None
+        if self.arena_ref is not None:
+            instance = attached_instance(self.arena_ref)
+        job = PlanJob(
+            spec=self.spec,
+            case=self.case,
+            scale=self.scale,
+            instance=instance,
+            timeout=self.timeout,
+            label=self.label,
+        )
+        # cached_property stores straight into __dict__, so the parent's
+        # hashes can be seeded without recomputing (or trusting a JSON
+        # round-trip) in the worker.
+        job.__dict__["instance_hash"] = self.instance_hash
+        job.__dict__["config_hash"] = self.config_hash
+        job.__dict__["job_id"] = self.job_id
+        return job
 
 
 def _digest(payload) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+#: Per-process memo of named-case instances (bounded FIFO).  Keyed by
+#: (case, scale); shared by the inline path and warm pool workers.
+_CASE_INSTANCES: dict[tuple[str, float], OSPInstance] = {}
+_CASE_INSTANCES_MAX = 64
+
+
+def _cached_case_instance(case: str, scale: float) -> OSPInstance:
+    key = (case, scale)
+    instance = _CASE_INSTANCES.get(key)
+    if instance is None:
+        from repro.workloads import build_instance
+
+        instance = build_instance(case, scale)
+        while len(_CASE_INSTANCES) >= _CASE_INSTANCES_MAX:
+            _CASE_INSTANCES.pop(next(iter(_CASE_INSTANCES)))
+        _CASE_INSTANCES[key] = instance
+    return instance
 
 
 # --------------------------------------------------------------------------- #

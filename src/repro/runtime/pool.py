@@ -3,6 +3,20 @@
 :class:`PlannerPool` wraps :class:`concurrent.futures.ProcessPoolExecutor`
 with the policies a batch planner needs:
 
+* **zero-copy dispatch** — jobs cross the process boundary as thin
+  :class:`~repro.runtime.jobs.JobDescriptor` records (spec + content
+  digests); inline instances are exported once into a shared-memory
+  :class:`~repro.runtime.arena.InstanceArena` and attached by workers as
+  read-only views, so a grid ships each instance's bulk data at most once
+  instead of once per job,
+* **chunked submission** — descriptors are submitted in chunks sized to the
+  worker count (one IPC round-trip amortised over several jobs) while
+  results still stream back in submission order,
+* **warm workers** — the executor persists across :meth:`run` /
+  :meth:`imap` calls until :meth:`shutdown`; workers memoise resolved
+  instances and their kernel caches by digest, so repeated planners over
+  the same case skip deserialization entirely.  Process-wide reuse is one
+  :func:`shared_pool` call away,
 * **per-job timeouts** — enforced *inside* the worker via ``SIGALRM`` (see
   :func:`repro.runtime.jobs.execute_job`), so a runaway planner is
   interrupted in place and its worker process is immediately reusable; the
@@ -10,13 +24,11 @@ with the policies a batch planner needs:
   worker that blows through even the grace margin (the alarm is deferred
   while native solver code runs) is reported as timed out and *terminated*
   at shutdown rather than joined, so shutdown stays bounded,
-* **retries** — failed/timed-out jobs are resubmitted up to ``retries``
-  times (the attempt count is recorded on the result),
-* **ordered streaming** — :meth:`imap` yields results in submission order as
-  soon as each job (and everything before it) finishes, so callers can
-  render progress without waiting for the whole batch,
-* **graceful shutdown** — the context manager cancels queued futures and
-  joins every worker, leaving no orphaned processes behind.
+* **retries** — failed/timed-out jobs are resubmitted (individually, even
+  when they first ran inside a chunk) up to ``retries`` times,
+* **graceful shutdown** — the context manager cancels queued futures, joins
+  every worker, and unlinks every arena segment, leaving no orphaned
+  processes or ``/dev/shm`` entries behind.
 
 ``max_workers=1`` runs jobs inline in the calling process (no pool at all):
 that is the honest serial baseline the throughput benchmark compares
@@ -25,6 +37,7 @@ against, and it keeps tiny batches free of process-spawn overhead.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
@@ -33,19 +46,34 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.events import PlanEvent
-from repro.runtime.jobs import JobResult, PlanJob, execute_job
+from repro.runtime.arena import InstanceArena
+from repro.runtime.jobs import JobDescriptor, JobResult, PlanJob, execute_job
 
-__all__ = ["PlannerPool", "EventRelay", "default_workers"]
+__all__ = ["PlannerPool", "EventRelay", "default_workers", "shared_pool", "close_shared_pools"]
 
 # Extra seconds the parent waits beyond a job's own timeout before declaring
 # it lost; the in-worker alarm should always fire first.
 _WAIT_GRACE = 10.0
+
+# Target number of chunks per worker when no explicit chunksize is given:
+# large enough to amortise IPC, small enough to keep ordered streaming and
+# work stealing responsive.
+_CHUNKS_PER_WORKER = 4
+_MAX_CHUNKSIZE = 16
 
 
 def default_workers(limit: int | None = None) -> int:
     """A sensible worker count: the CPU count, optionally capped."""
     count = os.cpu_count() or 1
     return max(1, min(count, limit) if limit else count)
+
+
+def auto_chunksize(num_jobs: int, workers: int) -> int:
+    """Chunk size used when the caller does not pin one."""
+    if num_jobs <= 0 or workers <= 0:
+        return 1
+    per_stream = -(-num_jobs // (workers * _CHUNKS_PER_WORKER))  # ceil div
+    return max(1, min(per_stream, _MAX_CHUNKSIZE))
 
 
 def labelled_event(event: PlanEvent, label: str) -> PlanEvent:
@@ -60,8 +88,22 @@ def labelled_event(event: PlanEvent, label: str) -> PlanEvent:
     )
 
 
-def _pool_worker(job: PlanJob, event_queue=None, event_types=None) -> JobResult:
-    # Module-level so it pickles under every multiprocessing start method.
+def _execute_descriptor(desc: JobDescriptor, event_queue=None, event_types=None) -> JobResult:
+    try:
+        job = desc.rebuild()
+    except Exception as exc:  # noqa: BLE001 — e.g. arena segment gone after a
+        # concurrent pool teardown.  Report it as THIS job's failure: an
+        # exception escaping here would fail the whole chunk future and
+        # throw away the completed results of every sibling job.
+        return JobResult(
+            job_id=desc.job_id,
+            case=desc.case or "<inline>",
+            label=desc.label or desc.spec.planner,
+            planner=desc.spec.planner,
+            status="error",
+            error=f"descriptor rebuild failed: {type(exc).__name__}: {exc}",
+            worker_pid=os.getpid(),
+        )
     if event_queue is None:
         return execute_job(job)
     label = job.display_label
@@ -77,6 +119,54 @@ def _pool_worker(job: PlanJob, event_queue=None, event_types=None) -> JobResult:
         event_queue.put(labelled_event(event, label).to_dict())
 
     return execute_job(job, on_event=_relay)
+
+
+def _worker_init() -> None:
+    """Executor worker initializer: tie the worker's life to the parent's.
+
+    A SIGKILLed parent can run no cleanup, and executor workers blocked on
+    the call queue outlive it indefinitely (each worker holds a write end
+    of the queue pipe, so nobody ever sees EOF).  Linux's parent-death
+    signal makes the workers exit with the parent; once the last of them is
+    gone the stdlib resource tracker loses its final pipe writer, wakes up,
+    and unlinks every shared-memory segment the arena had registered — no
+    orphaned processes or ``/dev/shm`` entries even on ``kill -9``.
+    Elsewhere this degrades to a no-op.
+
+    PDEATHSIG fires on the death of the *thread* that forked the worker,
+    which for a lazily-spawned executor can be a short-lived caller thread
+    while the owning process lives on.  The SIGTERM handler therefore
+    exits only when the worker has actually been reparented (its original
+    parent is gone) and ignores the signal otherwise — which is also why
+    the stuck-worker shutdown path uses SIGKILL, not SIGTERM.
+    """
+    try:
+        import ctypes
+        import signal as _signal
+
+        parent = os.getppid()
+
+        def _exit_if_orphaned(signum, frame):
+            if os.getppid() != parent:
+                os._exit(0)
+
+        _signal.signal(_signal.SIGTERM, _exit_if_orphaned)
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, _signal.SIGTERM)
+    except Exception:  # noqa: BLE001 — non-Linux / restricted environments
+        pass
+
+
+def _pool_worker(desc: JobDescriptor, event_queue=None, event_types=None) -> JobResult:
+    # Module-level so it pickles under every multiprocessing start method.
+    return _execute_descriptor(desc, event_queue, event_types)
+
+
+def _pool_worker_chunk(
+    descs: Sequence[JobDescriptor], event_queue=None, event_types=None
+) -> list[JobResult]:
+    return [_execute_descriptor(desc, event_queue, event_types) for desc in descs]
 
 
 class EventRelay:
@@ -144,12 +234,22 @@ class EventRelay:
 
 
 class PlannerPool:
-    """Execute plan jobs across worker processes with retries and timeouts."""
+    """Execute plan jobs across worker processes with retries and timeouts.
 
-    def __init__(self, max_workers: int = 1, retries: int = 0) -> None:
+    The pool is *warm*: its executor (and each worker's instance/kernel
+    cache) survives across :meth:`run` / :meth:`imap` calls until
+    :meth:`shutdown` — reuse one pool for a whole serving session instead of
+    paying process spawn and interpreter import per batch.
+    """
+
+    def __init__(
+        self, max_workers: int = 1, retries: int = 0, chunksize: int | None = None
+    ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.retries = max(0, int(retries))
+        self.chunksize = chunksize if chunksize is None else max(1, int(chunksize))
         self._executor: ProcessPoolExecutor | None = None
+        self._arena: InstanceArena | None = None
         # Set when a worker blew through its grace wait: its SIGALRM was
         # deferred by a long-running native call (e.g. a MILP solve), so a
         # plain join at shutdown could stall until that call returns.
@@ -163,9 +263,18 @@ class PlannerPool:
         """Whether jobs run in the calling process (``max_workers == 1``)."""
         return self.max_workers == 1
 
+    @property
+    def arena(self) -> InstanceArena:
+        """The pool's shared-memory arena (created lazily)."""
+        if self._arena is None:
+            self._arena = InstanceArena()
+        return self._arena
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=_worker_init
+            )
         return self._executor
 
     def abandon_running(self) -> None:
@@ -177,7 +286,7 @@ class PlannerPool:
         self._stuck_worker = True
 
     def shutdown(self, wait: bool = True) -> None:
-        """Cancel queued jobs and join the workers (idempotent).
+        """Cancel queued jobs, join the workers, unlink the arena (idempotent).
 
         If a worker is known to be stuck in native code past its timeout,
         it is terminated instead of joined, so shutdown stays bounded.
@@ -191,10 +300,23 @@ class PlannerPool:
                 workers = getattr(executor, "_processes", None) or {}
                 for process in list(workers.values()):
                     try:
-                        process.terminate()
+                        # SIGKILL, not SIGTERM: the worker installs a SIGTERM
+                        # handler (see _worker_init), and a handler cannot run
+                        # while the worker sits in a native solver call — the
+                        # exact situation this path exists for.
+                        process.kill()
                     except Exception:  # noqa: BLE001 — already exiting
                         pass
             executor.shutdown(wait=wait, cancel_futures=True)
+        # Unlink after the workers are gone (their mappings stay valid
+        # regardless — POSIX keeps unlinked segments alive while mapped).
+        if self._arena is not None:
+            arena, self._arena = self._arena, None
+            arena.close()
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (matches the docs' lifecycle wording)."""
+        self.shutdown(wait=True)
 
     def __enter__(self) -> "PlannerPool":
         return self
@@ -209,13 +331,37 @@ class PlannerPool:
         """Run all jobs and return their results in submission order."""
         return list(self.imap(jobs))
 
+    def describe(self, jobs: Sequence[PlanJob]) -> list[JobDescriptor]:
+        """Thin descriptors for ``jobs``, exporting inline instances once."""
+        arena = (
+            self.arena if any(job.instance is not None for job in jobs) else None
+        )
+        return [job.describe(arena) for job in jobs]
+
+    def trim_arena(self, keep: "set[str] | frozenset[str]" = frozenset()) -> int:
+        """Bound the warm arena between batches (idempotent, see arena.trim).
+
+        Callers that reuse this pool across batches (``imap`` does it
+        automatically; :func:`~repro.runtime.portfolio.run_portfolio` calls
+        it for caller-owned pools) pass the digests still in flight so a hot
+        instance is never evicted under a running job.
+        """
+        if self._arena is None:
+            return 0
+        return self._arena.trim(keep=keep)
+
     def imap(
         self,
         jobs: Iterable[PlanJob],
         event_queue=None,
         on_event: Callable[[PlanEvent], None] | None = None,
+        chunksize: int | None = None,
     ) -> Iterator[JobResult]:
         """Yield results in submission order as jobs complete.
+
+        Jobs are dispatched as descriptor chunks (``chunksize`` defaults to
+        :func:`auto_chunksize`); results of a chunk are yielded as soon as
+        the chunk (and everything before it) finishes.
 
         ``event_queue`` (an :class:`EventRelay` queue) streams worker events
         back to the parent; ``on_event`` is the in-process equivalent used on
@@ -229,16 +375,44 @@ class PlannerPool:
                 yield self._run_with_retries_inline(job, on_event=on_event)
             return
         executor = self._ensure_executor()
-        futures: list[Future] = [
-            executor.submit(_pool_worker, job, event_queue) for job in jobs
+        descriptors = self.describe(jobs)
+        if chunksize is None:
+            chunksize = self.chunksize
+        if chunksize is None:
+            # With per-job timeouts, dispatch one job per future: a chunk
+            # can only be declared lost as a whole, so batching would let a
+            # single wedged job (deferred SIGALRM in native code) take its
+            # completed siblings down with it — and only after waiting the
+            # *sum* of the chunk's bounds.  Callers that want chunking
+            # anyway can pin chunksize explicitly.
+            if any(job.timeout for job in jobs):
+                chunksize = 1
+            else:
+                chunksize = auto_chunksize(len(jobs), self.max_workers)
+        chunks: list[tuple[list[PlanJob], list[JobDescriptor]]] = [
+            (jobs[i : i + chunksize], descriptors[i : i + chunksize])
+            for i in range(0, len(jobs), chunksize)
         ]
-        for job, future in zip(jobs, futures):
-            yield self._await(job, future, event_queue=event_queue)
+        futures: list[Future] = [
+            executor.submit(_pool_worker_chunk, descs, event_queue)
+            for _, descs in chunks
+        ]
+        try:
+            for (chunk_jobs, _), future in zip(chunks, futures):
+                yield from self._await_chunk(chunk_jobs, future, event_queue)
+        finally:
+            # Between batches, bound the warm arena: evict the oldest
+            # segments beyond capacity, keeping this batch's digests (a
+            # serving pool over a stream of distinct instances must not
+            # grow /dev/shm without bound).
+            self.trim_arena(
+                keep={d.instance_hash for _, descs in chunks for d in descs}
+            )
 
     def submit(
         self, jobs: Sequence[PlanJob], event_queue=None, event_types=None
     ) -> list[Future]:
-        """Low-level: submit jobs and return raw futures (portfolio racing).
+        """Low-level: submit jobs one future each (portfolio racing).
 
         ``event_types`` (a tuple of :data:`~repro.events.EVENT_TYPES` names)
         restricts which events the workers relay — pass it when the consumer
@@ -246,7 +420,8 @@ class PlannerPool:
         """
         executor = self._ensure_executor()
         return [
-            executor.submit(_pool_worker, job, event_queue, event_types) for job in jobs
+            executor.submit(_pool_worker, desc, event_queue, event_types)
+            for desc in self.describe(list(jobs))
         ]
 
     # ------------------------------------------------------------------ #
@@ -273,8 +448,17 @@ class PlannerPool:
     def _wait_bound(self, job: PlanJob) -> float | None:
         return (job.timeout + _WAIT_GRACE) if job.timeout else None
 
+    def _chunk_wait_bound(self, jobs: Sequence[PlanJob]) -> float | None:
+        # Chunk jobs run sequentially in one worker, so the parent-side
+        # bound is the sum of the per-job bounds — and only exists when
+        # every job is itself bounded.
+        bounds = [self._wait_bound(job) for job in jobs]
+        if any(bound is None for bound in bounds):
+            return None
+        return sum(bounds)
+
     def collect(self, job: PlanJob, future: Future) -> JobResult:
-        """Resolve one future into a :class:`JobResult` (no retries)."""
+        """Resolve one single-job future into a :class:`JobResult` (no retries)."""
         try:
             result = future.result(timeout=self._wait_bound(job))
         except FutureTimeoutError:
@@ -291,15 +475,54 @@ class PlannerPool:
             result = self._failed(job, "error", f"{type(exc).__name__}: {exc}")
         return result
 
-    def _await(self, job: PlanJob, future: Future, event_queue=None) -> JobResult:
-        attempts = 0
-        while True:
-            attempts += 1
-            result = self.collect(job, future)
-            result.attempts = attempts
-            if result.ok or attempts > self.retries:
-                return result
-            future = self._ensure_executor().submit(_pool_worker, job, event_queue)
+    def _collect_chunk(
+        self, jobs: Sequence[PlanJob], future: Future
+    ) -> list[JobResult]:
+        try:
+            return list(future.result(timeout=self._chunk_wait_bound(jobs)))
+        except FutureTimeoutError:
+            future.cancel()
+            self.abandon_running()
+            return [
+                self._failed(job, "timeout", "worker did not respond within the timeout")
+                for job in jobs
+            ]
+        except CancelledError:
+            return [
+                self._failed(job, "error", "job was cancelled before it ran")
+                for job in jobs
+            ]
+        except BrokenProcessPool as exc:
+            self.shutdown(wait=False)
+            return [
+                self._failed(job, "error", f"worker pool broke: {exc}") for job in jobs
+            ]
+        except Exception as exc:  # noqa: BLE001 — unexpected submission failure
+            return [
+                self._failed(job, "error", f"{type(exc).__name__}: {exc}")
+                for job in jobs
+            ]
+
+    def _await_chunk(
+        self, jobs: Sequence[PlanJob], future: Future, event_queue=None
+    ) -> list[JobResult]:
+        results = self._collect_chunk(jobs, future)
+        for index, result in enumerate(results):
+            result.attempts = 1
+            attempts = 1
+            while not result.ok and attempts <= self.retries:
+                # Retries run one job per future: a failure inside a chunk
+                # must not re-run its healthy neighbours.  The job is
+                # re-described rather than reusing the original descriptor —
+                # if the pool broke, the arena went down with it, and a
+                # fresh descriptor re-exports the instance into the new one.
+                attempts += 1
+                [desc] = self.describe([jobs[index]])
+                retry = self._ensure_executor().submit(_pool_worker, desc, event_queue)
+                result = self.collect(jobs[index], retry)
+                result.attempts = attempts
+            results[index] = result
+        return results
 
     @staticmethod
     def _failed(job: PlanJob, status: str, message: str) -> JobResult:
@@ -311,3 +534,37 @@ class PlannerPool:
             status=status,
             error=message,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide warm pools
+# --------------------------------------------------------------------------- #
+
+_SHARED_POOLS: dict[tuple[int, int], PlannerPool] = {}
+
+
+def shared_pool(max_workers: int, retries: int = 0) -> PlannerPool:
+    """A process-wide warm :class:`PlannerPool` (one per configuration).
+
+    The returned pool is owned by the process: callers must *not* close it
+    (use it without ``with``); every pool is shut down at interpreter exit
+    or explicitly via :func:`close_shared_pools`.  Handing the same pool to
+    successive :func:`~repro.runtime.engine.run_jobs` /
+    :func:`~repro.runtime.portfolio.run_portfolio` calls keeps workers — and
+    their per-digest instance caches — warm across batches.
+    """
+    key = (max(1, int(max_workers)), max(0, int(retries)))
+    pool = _SHARED_POOLS.get(key)
+    if pool is None:
+        pool = PlannerPool(max_workers=key[0], retries=key[1])
+        _SHARED_POOLS[key] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Shut down every process-wide pool (idempotent; also runs atexit)."""
+    for key in list(_SHARED_POOLS):
+        _SHARED_POOLS.pop(key).shutdown(wait=True)
+
+
+atexit.register(close_shared_pools)

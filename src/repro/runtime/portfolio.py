@@ -157,6 +157,7 @@ def run_portfolio(
     on_event: Callable[[PlanEvent], None] | None = None,
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
+    pool: PlannerPool | None = None,
 ) -> PortfolioOutcome:
     """Race the ``entries`` on one instance and return the best plan.
 
@@ -166,6 +167,14 @@ def run_portfolio(
     may keep running past the first finisher unless their event stream shows
     a better incumbent.  Entrants still pending when any stop fires are
     cancelled and listed in :attr:`PortfolioOutcome.cancelled`.
+
+    ``pool`` reuses a caller-owned warm :class:`PlannerPool` (kept open
+    afterwards; ``max_workers`` is ignored) — races over the same instance
+    then skip instance shipping entirely thanks to the pool's arena and the
+    workers' digest caches.  Cancelled stragglers on a caller-owned pool
+    are *not* terminated (the pool outlives the race); they run on to their
+    per-job timeout, so pass ``timeout=`` or ``budget=`` when reusing a
+    pool or a hung entrant will occupy one of its workers indefinitely.
     """
     if not entries:
         raise ValidationError("portfolio needs at least one planner entry")
@@ -194,9 +203,12 @@ def run_portfolio(
         outcome.cancelled.extend(job.display_label for job in pending_jobs)
         pending_jobs = []
     if pending_jobs:
-        workers = default_workers(max_workers) if max_workers is None else max(1, max_workers)
-        workers = min(workers, len(pending_jobs))
-        with PlannerPool(max_workers=workers) as pool:
+        owns_pool = pool is None
+        if owns_pool:
+            workers = default_workers(max_workers) if max_workers is None else max(1, max_workers)
+            workers = min(workers, len(pending_jobs))
+            pool = PlannerPool(max_workers=workers)
+        try:
             if pool.inline:
                 _run_serial(
                     pending_jobs, outcome, race, start,
@@ -207,8 +219,15 @@ def run_portfolio(
                 _run_race(
                     pool, pending_jobs, outcome, race, start,
                     budget=budget, straggler_grace=straggler_grace,
-                    on_event=on_event, store=store,
+                    on_event=on_event, store=store, owns_pool=owns_pool,
                 )
+        finally:
+            if owns_pool:
+                pool.shutdown(wait=True)
+            else:
+                # A reused warm pool keeps its arena; bound it here the way
+                # imap does between batches (this race's instance stays hot).
+                pool.trim_arena(keep={job.instance_hash for job in pending_jobs})
     outcome.winner = race.winner
 
     outcome.wall_seconds = time.perf_counter() - start
@@ -301,6 +320,7 @@ def _run_race(
     straggler_grace: float | None,
     on_event,
     store: ResultStore | None,
+    owns_pool: bool = True,
 ) -> None:
     """True race across worker processes."""
     relay: EventRelay | None = None
@@ -377,10 +397,15 @@ def _run_race(
         for future in remaining:
             future.cancel()
             outcome.cancelled.append(by_future[future].display_label)
-        if remaining:
+        if remaining and owns_pool:
             # cancel() is a no-op on already-running entrants; have
             # shutdown terminate them so the stop truly bounds the
-            # call instead of waiting out their per-job timeouts.
+            # call instead of waiting out their per-job timeouts.  On a
+            # caller-owned warm pool that shutdown never happens — there
+            # the stragglers run on to their per-job timeouts (which is
+            # why ``job_timeout`` above folds in the budget), and latching
+            # the stuck flag would only make the caller's eventual clean
+            # shutdown needlessly SIGKILL healthy workers.
             pool.abandon_running()
     finally:
         if relay is not None:

@@ -26,6 +26,7 @@ REPRO_EXPORTS = sorted(
         "generate_1d_instance",
         "generate_2d_instance",
         "plan",
+        "planner_pool",
         "PlanRequest",
         "PlanResult",
         "PlanEvent",
@@ -38,6 +39,7 @@ REPRO_API_EXPORTS = sorted(
     [
         "plan",
         "submit",
+        "planner_pool",
         "PlanRequest",
         "PlanResult",
         "PlanningError",
@@ -66,15 +68,21 @@ RUNTIME_EXPORTS = sorted(
     [
         "PlanJob",
         "PlannerSpec",
+        "JobDescriptor",
         "JobResult",
         "JobTimeoutError",
         "execute_job",
         "register_planner",
         "resolve_planner",
         "list_planners",
+        "ArenaRef",
+        "InstanceArena",
+        "instance_digest",
         "PlannerPool",
         "EventRelay",
         "default_workers",
+        "shared_pool",
+        "close_shared_pools",
         "grid_jobs",
         "iter_jobs",
         "run_jobs",

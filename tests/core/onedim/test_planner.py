@@ -41,6 +41,33 @@ class TestPlannerBasics:
         plan_b = EBlow1DPlanner().plan(small_1d_instance)
         assert plan_a.rows_as_names() == plan_b.rows_as_names()
 
+    def test_stage_seconds_breakdown(self, small_1d_instance):
+        from repro.events import emitting
+
+        events = []
+        with emitting(events.append):
+            plan = EBlow1DPlanner().plan(small_1d_instance)
+        breakdown = plan.stats["stage_seconds"]
+        # Every pipeline stage of the full flow reports its wall time.
+        assert set(breakdown) == {
+            "successive_rounding",
+            "fast_convergence",
+            "refinement",
+            "post_swap",
+            "post_insertion",
+        }
+        assert all(seconds >= 0.0 for seconds in breakdown.values())
+        # The events carry the same attribution: one stage_done per stage,
+        # with a seconds payload matching the stats (up to rounding).
+        done = {
+            e.payload["name"]: e.payload["seconds"]
+            for e in events
+            if e.type == "stage_done"
+        }
+        assert set(done) == set(breakdown)
+        for name, seconds in breakdown.items():
+            assert done[name] == pytest.approx(seconds, abs=1e-5)
+
 
 class TestMccBehaviour:
     def test_balances_regions(self, small_mcc_instance):

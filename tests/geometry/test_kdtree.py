@@ -98,3 +98,97 @@ class TestDeletionAndNearest:
         tree = KDTree.build([((1.0, 1.0), "a"), ((2.0, 2.0), "b")])
         tree.remove("a")
         assert [p for _, p in tree.items()] == ["b"]
+
+
+class TestBoundingBoxPruning:
+    """The subtree-box pruning must be invisible except in node visits."""
+
+    @staticmethod
+    def _assert_boxes_consistent(tree):
+        """Every node's box is exactly the hull of its live subtree points."""
+
+        def visit(node):
+            if node is None:
+                return []
+            live = visit(node.left) + visit(node.right)
+            if not node.deleted:
+                live.append(node.point)
+            if not live:
+                assert node.bbox_lo is None and node.bbox_hi is None
+            else:
+                lo = tuple(min(p[d] for p in live) for d in range(tree.dimensions))
+                hi = tuple(max(p[d] for p in live) for d in range(tree.dimensions))
+                assert node.bbox_lo == lo, (node.bbox_lo, lo)
+                assert node.bbox_hi == hi, (node.bbox_hi, hi)
+            return live
+
+        visit(tree._root)
+
+    def test_boxes_tight_under_mixed_insert_remove(self):
+        rng = random.Random(7)
+        points = [
+            ((rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(0, 50)), i)
+            for i in range(80)
+        ]
+        tree = KDTree.build(points[:50])
+        self._assert_boxes_consistent(tree)
+        for coords, payload in points[50:]:
+            tree.insert(coords, payload)
+        self._assert_boxes_consistent(tree)
+        for payload in rng.sample(range(80), 40):
+            tree.remove(payload)
+        self._assert_boxes_consistent(tree)
+
+    def test_range_results_and_order_match_under_deletion(self):
+        rng = random.Random(11)
+        points = [((rng.uniform(0, 100), rng.uniform(0, 100)), i) for i in range(250)]
+        tree = KDTree.build(points)
+        live = {p: c for c, p in points}
+        for payload in rng.sample(range(250), 120):
+            tree.remove(payload)
+            live.pop(payload, None)
+        for _ in range(60):
+            lo = [rng.uniform(-10, 90), rng.uniform(-10, 90)]
+            hi = [lo[0] + rng.uniform(0, 35), lo[1] + rng.uniform(0, 35)]
+            got = tree.query_range(lo, hi)
+            expected = brute_force_range(
+                [(c, p) for p, c in live.items()], lo, hi
+            )
+            assert sorted(got) == expected
+            # No duplicates: pruning must not re-visit subtrees.
+            assert len(got) == len(set(got))
+
+    def test_disjoint_window_prunes_to_zero_visits(self):
+        rng = random.Random(3)
+        points = [((rng.uniform(0, 10), rng.uniform(0, 10)), i) for i in range(200)]
+        tree = KDTree.build(points)
+        visits = {"n": 0}
+        original = tree._range_recursive
+
+        def counting(node, lo, hi, out):
+            visits["n"] += 1
+            return original(node, lo, hi, out)
+
+        tree._range_recursive = counting
+        assert tree.query_range([50, 50], [60, 60]) == []
+        # One call on the root, pruned immediately by its bounding box.
+        assert visits["n"] == 1
+
+    def test_nearest_unaffected_by_pruning(self):
+        rng = random.Random(13)
+        points = [((rng.uniform(0, 20), rng.uniform(0, 20)), i) for i in range(150)]
+        tree = KDTree.build(points)
+        removed = set(rng.sample(range(150), 70))
+        for payload in removed:
+            tree.remove(payload)
+        for _ in range(40):
+            q = (rng.uniform(-5, 25), rng.uniform(-5, 25))
+            got_payload, got_dist = tree.nearest(q)
+            best = min(
+                (
+                    ((c[0] - q[0]) ** 2 + (c[1] - q[1]) ** 2, p)
+                    for c, p in points
+                    if p not in removed
+                ),
+            )
+            assert got_dist**2 == pytest.approx(best[0])

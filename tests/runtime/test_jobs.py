@@ -135,9 +135,13 @@ class TestExecuteJob:
 
 
 class TestDeterministicMode:
-    def test_drops_the_ilp_wall_clock_cap(self):
+    def test_default_flow_has_no_ilp_wall_clock_cap(self):
+        # The fast-convergence ILP stops on a relative MIP gap, never wall
+        # clock: the default flow is deterministic (same plan under any load)
+        # and cells can no longer pin at exactly the cap.
         default = PlannerSpec("eblow-1d").build("1D")
-        assert default.config.convergence.time_limit is not None
+        assert default.config.convergence.time_limit is None
+        assert default.config.convergence.mip_rel_gap is not None
         deterministic = PlannerSpec("eblow-1d", {"deterministic": True}).build("1D")
         assert deterministic.config.convergence.time_limit is None
 

@@ -47,16 +47,17 @@ class _SlowPlanner:
         return StencilPlan.empty(instance)
 
 
+_WALL_CLOCK_KEYS = ("runtime_seconds", "lp_solve_seconds", "stage_seconds")
+
+
 def _strip_wall_clock(extra: dict) -> dict:
-    return {k: v for k, v in extra.items() if k != "lp_solve_seconds"}
+    return {k: v for k, v in extra.items() if k not in _WALL_CLOCK_KEYS}
 
 
 def _strip_runtime(plan_dict: dict) -> dict:
     data = dict(plan_dict)
     data["stats"] = {
-        k: v
-        for k, v in data.get("stats", {}).items()
-        if k not in ("runtime_seconds", "lp_solve_seconds")
+        k: v for k, v in data.get("stats", {}).items() if k not in _WALL_CLOCK_KEYS
     }
     return data
 
