@@ -94,11 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--engine",
-        choices=["auto", "copy", "incremental"],
+        choices=["auto", "copy", "incremental", "batched"],
         default=None,
         help="annealing engine for the 2D planners (placements, selection, and "
-        "writing time are bit-identical; stats record which engine ran; copy "
-        "is the reference engine, incremental the fast mutate/undo one)",
+        "writing time are bit-identical under RNG lockstep; stats record which "
+        "engine ran; copy is the reference engine, incremental the fast "
+        "mutate/undo one, batched advances K chains per ufunc dispatch)",
+    )
+    plan.add_argument(
+        "--chains",
+        type=int,
+        default=None,
+        help="lockstep chain count for the batched engine (chain c is seeded "
+        "seed + c; more than one chain makes --engine auto pick batched)",
     )
     plan.add_argument(
         "--progress",
@@ -244,6 +252,7 @@ def _planner_options(
     kind: str,
     time_limit: float | None,
     engine: str | None = None,
+    chains: int | None = None,
 ) -> dict:
     """Options implied by CLI flags (ILP planners also get the time limit)."""
     from repro.runtime import resolve_planner
@@ -254,6 +263,8 @@ def _planner_options(
         options["time_limit"] = time_limit
     if engine is not None and resolved in ("eblow-2d", "sa-2d"):
         options["engine"] = engine
+    if chains is not None and resolved in ("eblow-2d", "sa-2d", "sa-2d-batched"):
+        options["chains"] = chains
     return options
 
 
@@ -270,6 +281,8 @@ def _cmd_planners(args: argparse.Namespace) -> int:
             flags.append("deterministic")
         if caps.supports_engine:
             flags.append("engine=")
+        if caps.supports_chains:
+            flags.append("chains=")
         if caps.supports_warm_start:
             flags.append("warm-start")
         if caps.supports_time_limit:
@@ -304,7 +317,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     try:
         options = _planner_options(
-            args.planner, instance.kind, args.time_limit, getattr(args, "engine", None)
+            args.planner,
+            instance.kind,
+            args.time_limit,
+            getattr(args, "engine", None),
+            getattr(args, "chains", None),
         )
     except ValidationError as exc:
         print(f"plan: {exc}", file=sys.stderr)
@@ -453,7 +470,12 @@ _PORTFOLIO_DEFAULTS = {
         "e-blow-0": ("eblow-1d", {"ablated": True}),
         "e-blow-1": "eblow-1d",
     },
-    "2D": {"greedy": "greedy-2d", "sa": "sa-2d", "e-blow": "eblow-2d"},
+    "2D": {
+        "greedy": "greedy-2d",
+        "sa": "sa-2d",
+        "sa-batched": "sa-2d-batched",
+        "e-blow": "eblow-2d",
+    },
 }
 
 

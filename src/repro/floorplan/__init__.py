@@ -8,6 +8,7 @@ from repro.floorplan.annealing import (
     simulated_annealing,
     simulated_annealing_in_place,
 )
+from repro.floorplan.batched import BatchedAnnealer, BatchedAnnealingResult
 from repro.floorplan.fixed_outline import (
     FixedOutlinePacker,
     FixedOutlineResult,
@@ -49,6 +50,8 @@ __all__ = [
     "MoveTypeStats",
     "simulated_annealing",
     "simulated_annealing_in_place",
+    "BatchedAnnealer",
+    "BatchedAnnealingResult",
     "FixedOutlinePacker",
     "FixedOutlineResult",
     "RegionTimeModel",

@@ -59,6 +59,15 @@ class AnnealingSchedule:
     # step, today's behaviour).  Long schedules at ``max_total_moves`` scale
     # would otherwise hold one float per temperature per chain forever.
     trace_stride: int = 1
+    # Number of lockstep chains for the batched engine (ignored by the
+    # single-chain engines; an explicit ``chains=`` argument to
+    # ``FixedOutlinePacker.pack`` takes precedence).
+    chains: int = 1
+    # Batched engine only: reset a chain to its best-known state after this
+    # many consecutive temperature steps without improving its incumbent.
+    # None (the default) disables restarts; the bit-identity contract vs.
+    # solo runs only covers the disabled setting.
+    restart_after: int | None = None
 
     def temperatures(self):
         """Yield the temperature ladder."""
@@ -239,7 +248,12 @@ def simulated_annealing_in_place(
             move = propose(state, rng)
             move.apply(state)
             candidate_cost = cost(state)
-            kind_stats = stats.setdefault(move.kind, MoveTypeStats())
+            # stats.get instead of setdefault: setdefault constructs (and
+            # immediately discards) a MoveTypeStats per move, which shows up
+            # in profiles of the incremental engine's hot loop.
+            kind_stats = stats.get(move.kind)
+            if kind_stats is None:
+                kind_stats = stats[move.kind] = MoveTypeStats()
             kind_stats.proposed += 1
             delta = candidate_cost - current_cost
             if delta <= 0 or rng.random() < math.exp(-delta / max(effective_t, 1e-12)):

@@ -31,6 +31,7 @@ from repro.floorplan.annealing import (
     simulated_annealing,
     simulated_annealing_in_place,
 )
+from repro.floorplan.batched import BatchedAnnealer, BatchedAnnealingResult
 from repro.floorplan.packing import (
     Block,
     IncrementalPacker,
@@ -69,6 +70,9 @@ class FixedOutlineResult:
     cost: float
     annealing: AnnealingResult
     engine: str = "copy"
+    # Populated by engine="batched": the per-chain view of the run.  ``pair``
+    # / ``cost`` / ``annealing`` then describe the winning chain.
+    batched: BatchedAnnealingResult | None = None
 
 
 class FixedOutlinePacker:
@@ -329,6 +333,7 @@ class FixedOutlinePacker:
         seed: int = 0,
         initial: SequencePair | None = None,
         engine: str = "auto",
+        chains: int | None = None,
     ) -> FixedOutlineResult:
         """Run the annealer and return the best packing found.
 
@@ -339,23 +344,39 @@ class FixedOutlinePacker:
         ``engine`` selects the search engine: ``"incremental"`` runs the
         mutate/undo engine over an :class:`IncrementalPacker` (one mutable
         state, dirty-suffix packing updates, O(changed) cost updates);
-        ``"copy"`` runs the copy-based reference engine.  ``"auto"`` picks
-        the incremental engine whenever there are blocks to pack.  Both
-        engines visit bit-identical states and return bit-identical results
-        (asserted in the test suite); they differ only in speed.
+        ``"copy"`` runs the copy-based reference engine; ``"batched"`` runs
+        ``chains`` lockstep chains in stacked arrays (chain ``c`` seeded
+        ``seed + c``) and returns the best chain.  ``"auto"`` picks the
+        batched engine when more than one chain is requested and the
+        incremental engine otherwise.  All engines visit bit-identical
+        states under RNG lockstep (asserted in the test suite); they differ
+        only in speed.  ``chains`` overrides ``schedule.chains`` when given.
         """
+        if engine not in ("auto", "copy", "incremental", "batched"):
+            raise ValueError(f"unknown annealing engine {engine!r}")
+        schedule_chains = schedule.chains if schedule is not None else 1
+        effective_chains = int(chains) if chains is not None else schedule_chains
+        if effective_chains < 1:
+            raise ValueError(f"chains must be >= 1, got {effective_chains}")
+        resolved = engine
+        if resolved == "auto":
+            if self._context is None:
+                resolved = "copy"
+            elif effective_chains > 1:
+                resolved = "batched"
+            else:
+                resolved = "incremental"
+        if resolved in ("incremental", "batched") and self._context is None:
+            resolved = "copy"
+        self._reset_delta_cache()
+
+        if resolved == "batched":
+            return self._pack_batched(schedule, seed, initial, effective_chains)
+
         rng = random.Random(seed)
         names = sorted(self.blocks)
         if initial is None:
             initial = SequencePair.initial(names, rng)
-        if engine not in ("auto", "copy", "incremental"):
-            raise ValueError(f"unknown annealing engine {engine!r}")
-        resolved = engine
-        if resolved == "auto":
-            resolved = "incremental" if self._context is not None else "copy"
-        if resolved == "incremental" and self._context is None:
-            resolved = "copy"
-        self._reset_delta_cache()
 
         if resolved == "incremental":
             state = _InPlaceState(IncrementalPacker(self._context, initial))
@@ -386,6 +407,42 @@ class FixedOutlinePacker:
             cost=result.best_cost,
             annealing=result,
             engine=resolved,
+        )
+
+    def _pack_batched(
+        self,
+        schedule: AnnealingSchedule | None,
+        seed: int,
+        initial: SequencePair | None,
+        chains: int,
+    ) -> FixedOutlineResult:
+        """Run K stacked chains and surface the winner as the result.
+
+        Chain ``c`` consumes ``random.Random(seed + c)`` exactly as a solo
+        ``pack(seed=seed + c)`` run would — including its initial-pair
+        shuffles when ``initial`` is None — so every chain is bit-identical
+        to the corresponding solo incremental run.
+        """
+        annealer = BatchedAnnealer(
+            self,
+            schedule=schedule,
+            chains=chains,
+            seed=seed,
+            initial=initial,
+        )
+        batched = annealer.run()
+        best = batched.best_chain
+        result = batched.annealing_result_for(best)
+        packing = pack_sequence_pair(result.best_state, self.blocks)
+        inside = self.inside_blocks(packing)
+        return FixedOutlineResult(
+            inside=inside,
+            packing=packing,
+            pair=result.best_state,
+            cost=result.best_cost,
+            annealing=result,
+            engine="batched",
+            batched=batched,
         )
 
 

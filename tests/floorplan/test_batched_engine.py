@@ -1,0 +1,391 @@
+"""Equivalence and correctness of the batched multi-chain annealing engine.
+
+The contract (repo tradition): under RNG lockstep the batched engine is not
+merely statistically similar to the single-chain engines — it is
+bit-identical.  With K=1 the batched run reproduces ``engine="incremental"``
+exactly; with K>1 every chain reproduces a solo run seeded ``seed + c``
+exactly.  On top of the equivalence harness this file property-tests the
+masked-undo path (apply/revert restores all stacked state, including the
+maintained edge tensor) and the inlined RNG sampling helper.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.floorplan import (
+    AnnealingSchedule,
+    BatchedAnnealer,
+    Block,
+    FixedOutlinePacker,
+)
+from repro.floorplan.batched import _sample_two
+
+
+class _ToyTimeModel:
+    """Multi-region model exercising the delta-cost protocol."""
+
+    def __init__(self, names):
+        self.names = list(names)
+        self.vsb = np.array([500.0, 650.0, 430.0])
+        self.rows = {
+            name: np.array([float(i + 1), 2.0 * (i + 1), 0.5 * (i + 1)])
+            for i, name in enumerate(self.names)
+        }
+
+    def vsb_times_array(self):
+        return self.vsb
+
+    def reduction_rows(self, names):
+        return np.array([self.rows[name] for name in names])
+
+    def __call__(self, selected):
+        times = self.vsb.copy()
+        for name in selected:
+            times = times - self.rows[name]
+        return float(times.max())
+
+
+def _blocks(n: int) -> dict[str, Block]:
+    return {
+        f"b{i:02d}": Block(f"b{i:02d}", 20 + (i % 7) * 3.7, 18 + (i % 5) * 4.1, 2, 2, 2, 2)
+        for i in range(n)
+    }
+
+
+def _schedule() -> AnnealingSchedule:
+    return AnnealingSchedule(
+        initial_temperature=0.4,
+        final_temperature=3e-3,
+        cooling_rate=0.9,
+        moves_per_temperature=40,
+    )
+
+
+def _packer(blocks, model, with_model=True, cls=FixedOutlinePacker):
+    kwargs = {"time_model": model} if with_model else {}
+    return cls(90, 90, blocks, writing_time_of=model, **kwargs)
+
+
+def _assert_same_result(batched_result, solo_result):
+    assert batched_result.best_state == solo_result.annealing.best_state
+    assert batched_result.best_cost == solo_result.cost  # exact, not approx
+    assert batched_result.moves == solo_result.annealing.moves
+    assert batched_result.accepted == solo_result.annealing.accepted
+    assert batched_result.cost_trace == solo_result.annealing.cost_trace
+    assert batched_result.move_stats == solo_result.annealing.move_stats
+
+
+# --------------------------------------------------------------------------- #
+# Bit-identity: K=1 vs incremental, K=8 vs solo runs
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("with_model", [True, False])
+def test_k1_lockstep_identical_to_incremental(seed, with_model):
+    blocks = _blocks(24)
+    model = _ToyTimeModel(sorted(blocks))
+    incremental = _packer(blocks, model, with_model).pack(
+        schedule=_schedule(), seed=seed, engine="incremental"
+    )
+    batched = _packer(blocks, model, with_model).pack(
+        schedule=_schedule(), seed=seed, engine="batched", chains=1
+    )
+    assert batched.engine == "batched"
+    assert batched.pair == incremental.pair
+    assert batched.cost == incremental.cost
+    assert batched.inside == incremental.inside
+    _assert_same_result(batched.annealing, incremental)
+    assert batched.batched is not None and batched.batched.chains == 1
+
+
+@pytest.mark.parametrize("with_model", [True, False])
+def test_k8_chains_identical_to_solo_runs(with_model):
+    blocks = _blocks(24)
+    model = _ToyTimeModel(sorted(blocks))
+    packer = _packer(blocks, model, with_model)
+    batched = BatchedAnnealer(packer, schedule=_schedule(), chains=8, seed=5).run()
+    for c in range(8):
+        solo = _packer(blocks, model, with_model).pack(
+            schedule=_schedule(), seed=5 + c, engine="incremental"
+        )
+        _assert_same_result(batched.annealing_result_for(c), solo)
+    assert batched.best_chain == int(np.argmin(batched.best_costs))
+
+
+def test_identity_across_rebase_boundaries():
+    class SmallRebase(FixedOutlinePacker):
+        REBASE_INTERVAL = 13
+
+    blocks = _blocks(16)
+    model = _ToyTimeModel(sorted(blocks))
+    incremental = _packer(blocks, model, cls=SmallRebase).pack(
+        schedule=_schedule(), seed=3, engine="incremental"
+    )
+    batched = _packer(blocks, model, cls=SmallRebase).pack(
+        schedule=_schedule(), seed=3, engine="batched", chains=1
+    )
+    assert batched.pair == incremental.pair
+    assert batched.cost == incremental.cost
+    assert batched.annealing.accepted == incremental.annealing.accepted
+
+
+def test_direct_dp_mode_identical_to_tensor_mode(monkeypatch):
+    """Above MAX_TENSOR_BYTES the edge tensor is skipped; bits must not change."""
+    blocks = _blocks(20)
+    model = _ToyTimeModel(sorted(blocks))
+    packer = _packer(blocks, model)
+    tensor = BatchedAnnealer(packer, schedule=_schedule(), chains=3, seed=2)
+    assert tensor._tensor
+    monkeypatch.setattr(BatchedAnnealer, "MAX_TENSOR_BYTES", 0)
+    direct = BatchedAnnealer(packer, schedule=_schedule(), chains=3, seed=2)
+    assert not direct._tensor
+    rt, rd = tensor.run(), direct.run()
+    assert rt.best_pairs == rd.best_pairs
+    assert np.array_equal(rt.best_costs, rd.best_costs)
+    assert np.array_equal(rt.cost_traces, rd.cost_traces)
+    assert np.array_equal(rt.accepted_by_kind, rd.accepted_by_kind)
+
+
+def test_initial_pair_seeds_every_chain():
+    """An explicit initial pair starts all chains there, like solo runs."""
+    blocks = _blocks(12)
+    model = _ToyTimeModel(sorted(blocks))
+    names = sorted(blocks)
+    initial = None
+    rng = random.Random(99)
+    from repro.floorplan import SequencePair
+
+    initial = SequencePair.initial(names, rng)
+    packer = _packer(blocks, model)
+    batched = BatchedAnnealer(
+        packer, schedule=_schedule(), chains=4, seed=7, initial=initial
+    ).run()
+    for c in range(4):
+        solo = _packer(blocks, model).pack(
+            schedule=_schedule(), seed=7 + c, initial=initial, engine="incremental"
+        )
+        _assert_same_result(batched.annealing_result_for(c), solo)
+
+
+# --------------------------------------------------------------------------- #
+# Masked undo: apply/revert is the identity on all stacked state
+# --------------------------------------------------------------------------- #
+
+
+def _stacked_state(annealer):
+    state = {
+        "by_rank": annealer.by_rank.copy(),
+        "order": annealer.order.copy(),
+        "rank_of": annealer.rank_of.copy(),
+        "pos_of": annealer.pos_of.copy(),
+        "R": annealer.R.copy(),
+        "W": annealer.W.copy(),
+        "G1": annealer.G1.copy(),
+        "G2": annealer.G2.copy(),
+    }
+    if annealer._tensor:
+        state["E"] = annealer._E.copy()
+    return state
+
+
+@pytest.mark.parametrize("tensor_mode", [True, False])
+def test_masked_undo_property(monkeypatch, tensor_mode):
+    """Apply + re-apply on a random chain subset restores all stacked state.
+
+    Every move is an involution, so ``_apply_moves(kinds, ii, jj, subset)``
+    called twice must leave permutations, geometry columns, *and* the
+    maintained edge tensor bit-identical — over ≥4k random steps, across
+    random subsets (the rejected-chain undo path uses exactly this call).
+    """
+    if not tensor_mode:
+        monkeypatch.setattr(BatchedAnnealer, "MAX_TENSOR_BYTES", 0)
+    blocks = _blocks(14)
+    model = _ToyTimeModel(sorted(blocks))
+    packer = _packer(blocks, model)
+    annealer = BatchedAnnealer(packer, schedule=_schedule(), chains=6, seed=0)
+    assert annealer._tensor is tensor_mode
+    rng = np.random.default_rng(42)
+    n, K = annealer.n, annealer.chains
+    steps = 700  # x 6 chains = 4200 chain-steps
+    for _ in range(steps):
+        kinds = rng.integers(0, 3, size=K)
+        ii = rng.integers(0, n, size=K)
+        jj = (ii + 1 + rng.integers(0, n - 1, size=K)) % n  # j != i
+        subset = np.flatnonzero(rng.random(K) < 0.7)
+        if subset.size == 0:
+            subset = np.array([0])
+        before = _stacked_state(annealer)
+        annealer._apply_moves(kinds, ii, jj, subset)
+        annealer._apply_moves(kinds, ii, jj, subset)
+        after = _stacked_state(annealer)
+        for key, value in before.items():
+            assert np.array_equal(value, after[key]), f"{key} not restored"
+        # Mutate on: leave the state perturbed for the next round so the
+        # property is checked across many distinct configurations.
+        annealer._apply_moves(kinds, ii, jj, subset)
+
+
+def test_maintained_tensor_matches_fresh_rebuild():
+    """After many moves the maintained E equals a from-scratch rebuild."""
+    blocks = _blocks(10)
+    model = _ToyTimeModel(sorted(blocks))
+    annealer = BatchedAnnealer(
+        _packer(blocks, model), schedule=_schedule(), chains=4, seed=1
+    )
+    rng = np.random.default_rng(7)
+    n, K = annealer.n, annealer.chains
+    for _ in range(300):
+        kinds = rng.integers(0, 3, size=K)
+        ii = rng.integers(0, n, size=K)
+        jj = (ii + 1 + rng.integers(0, n - 1, size=K)) % n
+        annealer._apply_moves(kinds, ii, jj, annealer._chain_ids)
+    maintained = annealer._E.copy()
+    annealer._build_tensor()
+    assert np.array_equal(maintained, annealer._E)
+
+
+# --------------------------------------------------------------------------- #
+# RNG lockstep helper
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 10, 21, 22, 30, 48, 100])
+def test_sample_two_matches_random_sample(n):
+    """_sample_two consumes the RNG exactly like rng.sample(range(n), 2)."""
+    for seed in range(10):
+        reference = random.Random(seed)
+        inlined = random.Random(seed)
+        for _ in range(100):
+            expected = tuple(reference.sample(range(n), 2))
+            assert _sample_two(inlined, n) == expected
+            assert inlined.getstate() == reference.getstate()
+
+
+# --------------------------------------------------------------------------- #
+# Engine selection, edge cases, schedule knobs
+# --------------------------------------------------------------------------- #
+
+
+def test_auto_engine_resolves_on_chain_count():
+    blocks = _blocks(8)
+    model = _ToyTimeModel(sorted(blocks))
+    packer = _packer(blocks, model)
+    assert packer.pack(schedule=_schedule(), seed=0).engine == "incremental"
+    assert packer.pack(schedule=_schedule(), seed=0, chains=3).engine == "batched"
+    schedule = _schedule()
+    schedule.chains = 4
+    assert packer.pack(schedule=schedule, seed=0).engine == "batched"
+    # An explicit chains= argument beats the schedule's knob.
+    assert packer.pack(schedule=schedule, seed=0, chains=1).engine == "incremental"
+
+
+def test_invalid_chain_count_rejected():
+    blocks = _blocks(4)
+    model = _ToyTimeModel(sorted(blocks))
+    with pytest.raises(ValueError):
+        _packer(blocks, model).pack(schedule=_schedule(), seed=0, chains=0)
+
+
+def test_empty_block_set_falls_back_to_copy():
+    packer = FixedOutlinePacker(10, 10, {}, writing_time_of=lambda s: 42.0)
+    result = packer.pack(schedule=_schedule(), seed=0, engine="batched", chains=4)
+    assert result.engine == "copy"
+    assert result.cost == pytest.approx(42.0)
+
+
+def test_single_block_runs_null_moves():
+    blocks = _blocks(1)
+    model = _ToyTimeModel(sorted(blocks))
+    result = _packer(blocks, model).pack(
+        schedule=_schedule(), seed=0, engine="batched", chains=3
+    )
+    assert result.engine == "batched"
+    solo = _packer(blocks, model).pack(
+        schedule=_schedule(), seed=0, engine="incremental"
+    )
+    assert result.cost == solo.cost
+    assert result.annealing.moves == solo.annealing.moves
+
+
+def test_trace_cap_bounds_total_entries():
+    """K x temperatures beyond MAX_TRACE_ENTRIES raises the effective stride."""
+    blocks = _blocks(6)
+    model = _ToyTimeModel(sorted(blocks))
+    schedule = AnnealingSchedule(
+        initial_temperature=1.0,
+        final_temperature=1e-4,
+        cooling_rate=0.97,
+        moves_per_temperature=1,
+    )
+    annealer = BatchedAnnealer(_packer(blocks, model), schedule=schedule, chains=4)
+    num_temps = len(list(schedule.temperatures()))
+    capped = annealer._effective_stride(num_temps)
+    assert capped == 1  # small run: schedule stride untouched
+    big = annealer._effective_stride(BatchedAnnealer.MAX_TRACE_ENTRIES * 3)
+    assert big >= 12  # 4 chains x 3 x MAX entries / MAX = 12
+    result = annealer.run()
+    # entries-per-chain x chains stays within the cap (+ initial + final).
+    total = result.cost_traces.size
+    assert total <= BatchedAnnealer.MAX_TRACE_ENTRIES + 2 * annealer.chains
+    assert result.effective_trace_stride == capped
+
+
+def test_restart_after_recovers_best_state():
+    """restart_after resets stale chains to their incumbent and keeps going."""
+    blocks = _blocks(16)
+    model = _ToyTimeModel(sorted(blocks))
+    schedule = _schedule()
+    schedule.restart_after = 2
+    result = BatchedAnnealer(
+        _packer(blocks, model), schedule=schedule, chains=4, seed=0
+    ).run()
+    assert int(result.restarts.sum()) > 0
+    # Restarts only ever restore incumbents, so best costs are still the
+    # minimum over each chain's trajectory.
+    assert np.all(result.best_costs <= result.cost_traces.min(axis=0) + 1e-12)
+    # The recorded best pairs must reproduce the recorded best costs when
+    # evaluated stand-alone: a restart that corrupted state would break this.
+    packer = _packer(blocks, model)
+    for c in range(result.chains):
+        assert packer.cost_of(result.best_pairs[c]) == pytest.approx(
+            float(result.best_costs[c]), rel=1e-9
+        )
+
+
+def test_incumbent_events_carry_chain_ids():
+    from repro.events import PlanEvent, emitting
+
+    blocks = _blocks(16)
+    model = _ToyTimeModel(sorted(blocks))
+    packer = _packer(blocks, model)
+    seen: list[PlanEvent] = []
+    with emitting(seen.append):
+        packer.pack(schedule=_schedule(), seed=0, engine="batched", chains=4)
+    incumbents = [e for e in seen if e.type == "incumbent"]
+    assert incumbents
+    chain_ids = {e.payload["chain"] for e in incumbents}
+    assert chain_ids <= set(range(4)) and len(chain_ids) >= 2
+    temps = [e for e in seen if e.type == "temperature"]
+    assert temps and all(e.payload["chains"] == 4 for e in temps)
+
+
+def test_batched_result_statistics_consistent():
+    blocks = _blocks(18)
+    model = _ToyTimeModel(sorted(blocks))
+    result = BatchedAnnealer(
+        _packer(blocks, model), schedule=_schedule(), chains=5, seed=4
+    ).run()
+    per_chain_proposed = result.proposed_by_kind.sum(axis=1)
+    assert np.all(per_chain_proposed == result.moves)
+    assert np.array_equal(result.accepted_by_kind.sum(axis=1), result.accepted)
+    assert np.all(result.improved_by_kind <= result.accepted_by_kind)
+    assert np.all(result.accepted_by_kind <= result.proposed_by_kind)
+    for c in range(5):
+        stats = result.move_stats_for(c)
+        assert sum(s.proposed for s in stats.values()) == result.moves
+        assert sum(s.accepted for s in stats.values()) == int(result.accepted[c])
