@@ -216,6 +216,22 @@ class PlanResult:
             counts[event.type] = counts.get(event.type, 0) + 1
         return counts
 
+    def trace(self):
+        """The run's span tree assembled from the captured event stream.
+
+        Returns a :class:`repro.obs.tracing.Span` (render it with
+        :func:`repro.obs.report.render_report`), or ``None`` when the run
+        emitted no ``span`` events (e.g. ``collect_events=False``).
+        """
+        from repro.obs.tracing import TraceCollector
+
+        collector = TraceCollector()
+        for event in self.events:
+            collector(event)
+        if not collector.spans():
+            return None
+        return collector.tree()
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #

@@ -16,6 +16,14 @@ content-addressed store, so re-runs are instant)::
     eblow portfolio --case 1M-1 --jobs 3
     eblow cache stats
 
+Observe a run (``--metrics-out`` snapshots the :mod:`repro.obs` metrics
+registry, ``--events-out`` records the event stream, and the ``stats`` /
+``trace`` verbs render them afterwards)::
+
+    eblow batch --suite 1T --jobs 2 --metrics-out metrics.json --events-out events.jsonl
+    eblow stats metrics.json --format prom
+    eblow trace events.jsonl
+
 Reproduce the paper's tables and figures (scaled down by default; pass
 ``--scale 1.0`` or set ``REPRO_PAPER_SCALE=1`` for paper-scale instances)::
 
@@ -32,6 +40,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 
 from repro import __version__
 from repro.evaluation import format_comparison_table
@@ -119,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full event stream as JSONL telemetry to this file",
     )
+    plan.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a repro.obs metrics snapshot (JSON) for the run to this file",
+    )
     plan.add_argument("--out", default=None)
 
     batch = sub.add_parser("batch", help="run a cases x planners grid through the worker pool")
@@ -152,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-cache", action="store_true", help="bypass the result store")
     batch.add_argument("--cache-dir", default=None, help="result-store root (default ~/.cache/eblow)")
     batch.add_argument("--manifest", default=None, help="write a JSONL telemetry manifest here")
+    batch.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a merged metrics snapshot (JSON) for the whole batch here; "
+        "worker-process registries are folded into the parent's",
+    )
+    batch.add_argument(
+        "--events-out",
+        default=None,
+        help="record every PlanEvent (including trace spans) as JSONL here; "
+        "render with `eblow trace`",
+    )
     batch.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     batch.add_argument("--list-planners", action="store_true", help="list registered planners and exit")
 
@@ -189,8 +215,34 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--no-cache", action="store_true", help="bypass the result store")
     portfolio.add_argument("--cache-dir", default=None)
     portfolio.add_argument("--manifest", default=None, help="write a JSONL telemetry manifest here")
+    portfolio.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a merged metrics snapshot (JSON) for the race to this file",
+    )
     portfolio.add_argument("--out", default=None, help="write the winning plan here")
     portfolio.add_argument("--json", action="store_true")
+
+    stats = sub.add_parser("stats", help="render a metrics snapshot or manifest")
+    stats.add_argument(
+        "source",
+        help="metrics snapshot JSON (from --metrics-out) or a JSONL manifest "
+        "containing a metrics record",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["table", "prom", "json"],
+        default="table",
+        help="table (default), Prometheus text exposition, or raw JSON",
+    )
+
+    trace = sub.add_parser("trace", help="render a recorded event stream as a span trace")
+    trace.add_argument(
+        "source",
+        help="JSONL event stream (from --events-out) or a manifest with event records",
+    )
+    trace.add_argument("--depth", type=int, default=None, help="truncate the tree display")
+    trace.add_argument("--json", action="store_true", help="emit the span tree as JSON")
 
     cache = sub.add_parser("cache", help="inspect or clear the result store")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -421,6 +473,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     telemetry = Telemetry(args.manifest)
     grid = grid_jobs(cases, planners, scale=scale, timeout=args.timeout)
 
+    # --events-out records every PlanEvent as JSONL.  With worker processes
+    # the sink is also installed as an emitting scope in this process so the
+    # parent-side batch/dispatch spans are captured alongside the relayed
+    # worker streams; inline runs skip the scope (the pool already wraps each
+    # job in emitting(on_event) — a second scope would record every event
+    # twice) and so carry per-job traces only.
+    sink = None
+    scope = nullcontext()
+    if args.events_out:
+        from repro.obs.tracing import span
+
+        events_log = Telemetry(args.events_out)
+        sink = events_log.record_event
+        if args.jobs > 1:
+            from repro.events import emitting
+
+            scope = emitting(sink)
+    else:
+        span = None
+
     start = time.perf_counter()
     results = []
     # One explicit warm pool for the whole invocation: workers (and their
@@ -429,8 +501,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     pool = PlannerPool(
         max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
     )
-    with pool:
-        for result in iter_jobs(grid, store=store, telemetry=telemetry, pool=pool):
+    with pool, scope, (span("batch", jobs=args.jobs, cases=len(cases)) if span else nullcontext()):
+        for result in iter_jobs(grid, store=store, telemetry=telemetry, pool=pool, on_event=sink):
             results.append(result)
             if not args.json:
                 origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
@@ -461,6 +533,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         if args.manifest:
             print(f"manifest written to {args.manifest}")
+        if args.events_out:
+            print(f"{len(events_log.records)} events written to {args.events_out}")
     return 0 if summary["ok"] == summary["jobs"] else 1
 
 
@@ -564,6 +638,112 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_metrics_snapshot(args: argparse.Namespace, run) -> int:
+    """Run a command under a fresh metrics registry and export the snapshot.
+
+    Installed process-wide for the duration of the command, the registry
+    collects every series the run touches — worker-process registries are
+    merged in by the pool as results are collected.  When ``--manifest`` is
+    also given the snapshot is appended to the manifest as a ``metrics``
+    record, so the JSONL file is a self-contained run report.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.export import write_snapshot
+
+    with obs_metrics.collecting() as registry:
+        code = run(args)
+    snapshot = registry.snapshot()
+    write_snapshot(snapshot, args.metrics_out)
+    print(f"wrote metrics snapshot to {args.metrics_out}")
+    if getattr(args, "manifest", None):
+        from repro.runtime import Telemetry
+
+        Telemetry(args.manifest).record_metrics(snapshot)
+    return code
+
+
+def _load_metrics_source(path: str) -> dict:
+    """A snapshot from a JSON file or the last metrics record of a manifest."""
+    from repro.obs.export import validate_snapshot
+
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict) and "metrics" in data:
+        return validate_snapshot(data)
+    snapshot = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("record") == "metrics":
+            snapshot = {"v": record.get("v", 1), "metrics": record.get("metrics", {})}
+    if snapshot is None:
+        raise ValueError(f"no metrics snapshot or metrics record found in {path}")
+    return validate_snapshot(snapshot)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_prometheus
+    from repro.obs.report import render_metrics_table
+
+    try:
+        snapshot = _load_metrics_source(args.source)
+    except (OSError, ValueError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(render_metrics_table(snapshot), end="\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+    from repro.obs.tracing import TraceCollector
+
+    collector = TraceCollector()
+    try:
+        with open(args.source) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    collector.add_event_dict(record)
+    except OSError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    if not collector.spans():
+        print(f"trace: no span events found in {args.source}", file=sys.stderr)
+        return 1
+    root = collector.tree()
+    if args.json:
+        print(json.dumps(root.to_dict(), indent=2))
+        return 0
+    # A manifest may also carry a metrics record; fold it into the report.
+    try:
+        snapshot = _load_metrics_source(args.source)
+    except (OSError, ValueError):
+        snapshot = None
+    print(render_report(root, snapshot, max_depth=args.depth), end="")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runtime import ResultStore
 
@@ -600,12 +780,19 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "planners":
         return _cmd_planners(args)
-    if args.command == "plan":
-        return _cmd_plan(args)
-    if args.command == "batch":
-        return _cmd_batch(args)
-    if args.command == "portfolio":
-        return _cmd_portfolio(args)
+    for command, handler in (
+        ("plan", _cmd_plan),
+        ("batch", _cmd_batch),
+        ("portfolio", _cmd_portfolio),
+    ):
+        if args.command == command:
+            if args.metrics_out:
+                return _with_metrics_snapshot(args, handler)
+            return handler(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "table3":

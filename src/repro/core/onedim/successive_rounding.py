@@ -37,10 +37,19 @@ from repro.core.profits import compute_profits
 from repro.errors import SolverError
 from repro.events import emit
 from repro.model import OSPInstance
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import record_span
 from repro.solver import solve_lp
 from repro.solver.result import SolveStatus
 
 __all__ = ["RoundingState", "SuccessiveRoundingConfig", "successive_rounding"]
+
+_LP_SOLVES = obs_metrics.declare_counter(
+    "lp_solves_total", "LP relaxations solved by successive rounding", ("warm",)
+)
+_LP_SECONDS = obs_metrics.declare_histogram(
+    "lp_solve_seconds", "Wall seconds per LP relaxation solve"
+)
 
 
 @dataclass
@@ -188,10 +197,19 @@ def successive_rounding(
                 config.lp_backend,
             )
         state.lp_solve_seconds.append(time.perf_counter() - solve_start)
+        warm = bool(structure is not None and structure.last_warm_started)
+        _LP_SOLVES.inc(warm=str(warm).lower())
+        _LP_SECONDS.observe(state.lp_solve_seconds[-1])
+        record_span(
+            "lp_solve",
+            state.lp_solve_seconds[-1],
+            warm=warm,
+            unsolved=len(state.unsolved),
+        )
         emit(
             "lp_solve",
             seconds=state.lp_solve_seconds[-1],
-            warm=bool(structure is not None and structure.last_warm_started),
+            warm=warm,
             unsolved=len(state.unsolved),
             variables=len(values),
         )

@@ -53,6 +53,9 @@ __all__ = [
 #:                 ``moves``
 #: ``incumbent``   a new best solution — ``cost``, ``moves``
 #: ``rebase``      an incremental cache was rebuilt from scratch — ``scope``
+#: ``span``        a timed trace span closed — ``name``, ``span_id``,
+#:                 ``parent_id``, ``seconds``, ``pid`` (see
+#:                 :mod:`repro.obs.tracing`)
 #: ``finished``    the run ended — ``status``, ``writing_time``
 #: ==============  ============================================================
 EVENT_TYPES = (
@@ -64,6 +67,7 @@ EVENT_TYPES = (
     "temperature",
     "incumbent",
     "rebase",
+    "span",
     "finished",
 )
 
@@ -152,8 +156,16 @@ def emit(type: str, **payload) -> None:
         )
         try:
             scope.sink(event)
-        except Exception:  # noqa: BLE001 — a broken sink must not kill the run
+        except Exception as exc:  # noqa: BLE001 — a broken sink must not kill the run
             scope.broken = True
+            import warnings
+
+            warnings.warn(
+                f"event sink {scope.sink!r} raised {exc!r} and was dropped "
+                "for the remainder of the run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 @contextmanager
@@ -168,12 +180,23 @@ def timed_stage(name: str, seconds_by_stage: dict, **payload) -> Iterator[None]:
     breakdown, so the payload shape cannot drift between flows.
     """
     emit("stage", name=name, **payload)
+    stage_span = None
+    if _STATE.scopes:
+        # Lazy import: repro.obs.tracing imports this module, so the span
+        # dependency may only materialise at call time (and only when a sink
+        # is installed — unobserved runs never touch repro.obs).
+        from repro.obs.tracing import span
+
+        stage_span = span(name, **payload)
+        stage_span.__enter__()
     begin = time.perf_counter()
     try:
         yield
     finally:
         seconds = time.perf_counter() - begin
         seconds_by_stage[name] = round(seconds, 6)
+        if stage_span is not None:
+            stage_span.__exit__(None, None, None)
         emit("stage_done", name=name, seconds=seconds)
 
 
@@ -183,7 +206,10 @@ def guarded_sink(sink: EventSink | None) -> EventSink | None:
     Mirrors the scope-level ``broken`` rule for composite sinks: when a
     consumer bundles internal bookkeeping with a user callback in one sink,
     the callback half must fail independently — wrap it with this and the
-    bookkeeping keeps receiving events after the callback breaks.
+    bookkeeping keeps receiving events after the callback breaks.  The drop
+    is announced once through :func:`warnings.warn` (with the sink's
+    exception chained into the message) so a broken observer is diagnosable
+    instead of silently invisible.
     Returns ``None`` unchanged so callers can pass optional callbacks through.
     """
     if sink is None:
@@ -196,8 +222,16 @@ def guarded_sink(sink: EventSink | None) -> EventSink | None:
             return
         try:
             sink(event)
-        except Exception:  # noqa: BLE001 — drop the broken callback only
+        except Exception as exc:  # noqa: BLE001 — drop the broken callback only
             broken = True
+            import warnings
+
+            warnings.warn(
+                f"event sink {sink!r} raised {exc!r} and was dropped for the "
+                "remainder of the run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     return _guarded
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generic, Protocol, TypeVar, runtime_checkable
 
 from repro.events import emit
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "AnnealingSchedule",
@@ -44,6 +45,21 @@ __all__ = [
 
 S = TypeVar("S")
 B = TypeVar("B")
+
+# End-of-run annealing counters (repro.obs).  Deliberately *not* updated
+# per move: the pre-bound instruments are cheap but the inner loops run
+# hundreds of thousands of times, so the engines account one batch of
+# increments per run — zero cost inside the loop, zero RNG interaction,
+# bit-identical trajectories with or without a registry installed.
+_ANNEAL_RUNS = obs_metrics.declare_counter(
+    "anneal_runs_total", "Annealing searches completed", ("engine",)
+)
+_ANNEAL_MOVES = obs_metrics.declare_counter(
+    "anneal_moves_total", "Annealing moves proposed (per chain)", ("engine",)
+)
+_ANNEAL_ACCEPTS = obs_metrics.declare_counter(
+    "anneal_accepts_total", "Annealing moves accepted (per chain)", ("engine",)
+)
 
 
 @dataclass
@@ -196,6 +212,9 @@ def simulated_annealing(
         emit("temperature", temperature=temperature, cost=current_cost, moves=moves)
         if moves >= schedule.max_total_moves:
             break
+    _ANNEAL_RUNS.inc(engine="copy")
+    _ANNEAL_MOVES.inc(moves, engine="copy")
+    _ANNEAL_ACCEPTS.inc(accepted, engine="copy")
     return AnnealingResult(
         best_state=best,
         best_cost=best_cost,
@@ -272,6 +291,9 @@ def simulated_annealing_in_place(
         emit("temperature", temperature=temperature, cost=current_cost, moves=moves)
         if moves >= schedule.max_total_moves:
             break
+    _ANNEAL_RUNS.inc(engine="incremental")
+    _ANNEAL_MOVES.inc(moves, engine="incremental")
+    _ANNEAL_ACCEPTS.inc(accepted, engine="incremental")
     return AnnealingResult(
         best_state=best,
         best_cost=best_cost,

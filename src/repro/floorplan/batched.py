@@ -69,6 +69,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.events import emit
+from repro.floorplan.annealing import _ANNEAL_ACCEPTS, _ANNEAL_MOVES, _ANNEAL_RUNS
+from repro.floorplan.packing import _REBASES
 from repro.floorplan.annealing import (
     AnnealingResult,
     AnnealingSchedule,
@@ -557,6 +559,7 @@ class BatchedAnnealer:
             self._deltas_since_rebase = 0
             for c in range(self.chains):
                 cand_times[c] = self._vsb - reductions[mask[c]].sum(axis=0)
+            _REBASES.inc(scope="region-times")
             emit(
                 "rebase",
                 scope="region-times",
@@ -715,6 +718,11 @@ class BatchedAnnealer:
             )
             for c in range(K)
         ]
+        # End-of-run accounting only (see repro.floorplan.annealing): moves
+        # counts chain-moves (K per dispatch) so engines are comparable.
+        _ANNEAL_RUNS.inc(engine="batched")
+        _ANNEAL_MOVES.inc(moves * K, engine="batched")
+        _ANNEAL_ACCEPTS.inc(int(accepted_count.sum()), engine="batched")
         return BatchedAnnealingResult(
             chains=K,
             best_pairs=best_pairs,

@@ -31,6 +31,7 @@ from repro.floorplan.annealing import (
     simulated_annealing,
     simulated_annealing_in_place,
 )
+from repro.floorplan.packing import _REBASES
 from repro.floorplan.batched import BatchedAnnealer, BatchedAnnealingResult
 from repro.floorplan.packing import (
     Block,
@@ -242,6 +243,7 @@ class FixedOutlinePacker:
         if self._deltas_since_rebase >= self.REBASE_INTERVAL:
             self._deltas_since_rebase = 0
             times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+            _REBASES.inc(scope="region-times")
             emit("rebase", scope="region-times", interval=self.REBASE_INTERVAL)
         self._remember_last(candidate, mask, times)
         return self._penalized(float(times.max()), x, y)
@@ -296,6 +298,7 @@ class FixedOutlinePacker:
         if state.deltas_since_rebase >= self.REBASE_INTERVAL:
             state.deltas_since_rebase = 0
             times = self._model_vsb - self._model_reductions[mask].sum(axis=0)
+            _REBASES.inc(scope="region-times")
             emit("rebase", scope="region-times", interval=self.REBASE_INTERVAL)
         state.pending_mask = mask
         state.pending_times = times

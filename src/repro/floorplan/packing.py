@@ -21,6 +21,14 @@ import numpy as np
 from repro.events import emit
 from repro.floorplan.sequence_pair import SequencePair
 from repro.geometry import Rect
+from repro.obs import metrics as obs_metrics
+
+# Shared by every incremental-cache rebase site (this packer, the
+# fixed-outline region-time caches, the batched engine): rebases happen
+# once per REBASE_INTERVAL moves, so the counter costs nothing per move.
+_REBASES = obs_metrics.declare_counter(
+    "anneal_rebases_total", "Incremental-cache rebuilds from scratch", ("scope",)
+)
 
 __all__ = [
     "Block",
@@ -807,6 +815,7 @@ class IncrementalPacker:
         self._applies += 1
         if self._applies % self.rebase_interval == 0:
             self._rebuild()
+            _REBASES.inc(scope="packing")
             emit("rebase", scope="packing", interval=self.rebase_interval)
         else:
             self._update_bbox()

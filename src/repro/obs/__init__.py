@@ -1,0 +1,73 @@
+"""`repro.obs` — observability for the serving path.
+
+Three layers, importable separately and with no dependencies beyond the
+standard library and :mod:`repro.events`:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry with labeled
+  series, a process-wide default, pre-bound zero-cost instruments, and
+  snapshot + merge semantics that fold worker-process registries into the
+  parent's (the cross-process pipeline under ``eblow batch --metrics-out``).
+* :mod:`repro.obs.tracing` — ``span()`` context manager emitting ``span``
+  events through the :mod:`repro.events` stream; :class:`TraceCollector`
+  assembles them (including relayed worker spans) into one hierarchical
+  trace.
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSON snapshots,
+  Prometheus text exposition, and the human per-stage time-budget report
+  behind ``eblow stats`` / ``eblow trace``.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and trace semantics.
+"""
+
+from repro.obs.export import (
+    load_snapshot,
+    render_prometheus,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    declare_counter,
+    declare_gauge,
+    declare_histogram,
+    install,
+    installed,
+    uninstall,
+)
+from repro.obs.report import render_metrics_table, render_report, render_trace, time_budget
+from repro.obs.tracing import Span, TraceCollector, current_span_id, record_span, span
+
+__all__ = [
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "install",
+    "uninstall",
+    "installed",
+    "collecting",
+    "declare_counter",
+    "declare_gauge",
+    "declare_histogram",
+    # tracing
+    "span",
+    "record_span",
+    "current_span_id",
+    "Span",
+    "TraceCollector",
+    # export / report
+    "validate_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "render_prometheus",
+    "time_budget",
+    "render_trace",
+    "render_metrics_table",
+    "render_report",
+]

@@ -1,0 +1,124 @@
+"""Snapshot export: JSON files and Prometheus-style text exposition.
+
+A snapshot is the JSON-able dict from
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (schema version 1):
+
+.. code-block:: json
+
+    {"v": 1, "metrics": {"pool_jobs_total": {"type": "counter", "help": "…",
+     "labelnames": ["status", "mode"],
+     "series": [{"labels": {"status": "ok", "mode": "pool"}, "value": 12.0}]}}}
+
+:func:`render_prometheus` turns a snapshot into the text exposition format
+scrapers understand (``# HELP`` / ``# TYPE`` headers, cumulative histogram
+buckets with ``le`` labels plus ``_sum`` / ``_count``), so the future serve
+daemon only needs to dump this string on a ``/metrics`` route.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.metrics import SNAPSHOT_VERSION
+
+__all__ = [
+    "validate_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "render_prometheus",
+]
+
+
+def validate_snapshot(snapshot: Mapping) -> dict:
+    """Check the snapshot shape; returns it as a plain dict or raises ValueError."""
+    if not isinstance(snapshot, Mapping):
+        raise ValueError("metrics snapshot must be a JSON object")
+    version = snapshot.get("v")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported metrics snapshot version: {version!r}")
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise ValueError("metrics snapshot missing 'metrics' object")
+    for name, entry in metrics.items():
+        if not isinstance(entry, Mapping) or "series" not in entry:
+            raise ValueError(f"metric {name!r} entry missing 'series'")
+    return {"v": version, "metrics": {k: dict(v) for k, v in metrics.items()}}
+
+
+def write_snapshot(snapshot: Mapping, path: str | Path) -> Path:
+    """Write a snapshot as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(validate_snapshot(snapshot), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Load and validate a snapshot written by :func:`write_snapshot`."""
+    return validate_snapshot(json.loads(Path(path).read_text()))
+
+
+def _labels_text(labels: Mapping) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """HELP-line escaping: only backslash and newline, quotes stay literal."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _num(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    snapshot = validate_snapshot(snapshot)
+    lines: list[str] = []
+    for name in sorted(snapshot["metrics"]):
+        entry = snapshot["metrics"][name]
+        kind = entry.get("type", "untyped")
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in entry.get("series", []):
+            labels = dict(sample.get("labels", {}))
+            if kind == "histogram":
+                bounds = list(entry.get("buckets", []))
+                counts = list(sample.get("counts", []))
+                cumulative = 0
+                for bound, count in zip(bounds, counts):
+                    cumulative += count
+                    bucket_labels = {**labels, "le": _num(bound)}
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} {_num(cumulative)}"
+                    )
+                total = int(sample.get("count", 0))
+                inf_labels = {**labels, "le": "+Inf"}
+                lines.append(f"{name}_bucket{_labels_text(inf_labels)} {_num(total)}")
+                lines.append(f"{name}_sum{_labels_text(labels)} {_num(sample.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_labels_text(labels)} {_num(total)}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_num(sample.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,124 @@
+"""Human-readable rendering of traces and metrics snapshots.
+
+:func:`render_trace` draws the span tree with per-node seconds and percent
+of the root; :func:`time_budget` aggregates spans by name into the
+per-stage table (total / self / count); :func:`render_report` combines a
+trace with an optional metrics snapshot into the full text report the
+``eblow trace`` verb prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "time_budget",
+    "render_trace",
+    "render_metrics_table",
+    "render_report",
+]
+
+
+def time_budget(root: Span) -> list[dict]:
+    """Aggregate a trace by span name, ordered by total seconds descending.
+
+    ``total_seconds`` sums each span's wall time, ``self_seconds`` the part
+    not covered by its children — so the self column is a true budget: over
+    a tree of perfectly nested spans the self-seconds sum to the root's
+    duration, regardless of nesting depth.
+    """
+    rows: dict[str, dict] = {}
+    for _, node in root.walk():
+        row = rows.setdefault(
+            node.name,
+            {"name": node.name, "count": 0, "total_seconds": 0.0, "self_seconds": 0.0},
+        )
+        row["count"] += 1
+        row["total_seconds"] += node.seconds
+        row["self_seconds"] += node.self_seconds
+    return sorted(rows.values(), key=lambda r: -r["total_seconds"])
+
+
+def render_trace(root: Span, max_depth: int | None = None) -> str:
+    """The span tree as an indented text outline."""
+    base = max(root.seconds, 1e-12)
+    lines = []
+    for depth, node in root.walk():
+        if max_depth is not None and depth > max_depth:
+            continue
+        attrs = ""
+        interesting = {
+            k: v
+            for k, v in node.attrs.items()
+            if k in ("planner", "case", "label", "stage", "jobs", "chunk", "worker_pid")
+        }
+        if interesting:
+            attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+        lines.append(
+            f"{'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}} "
+            f"{node.seconds:9.4f}s  {100.0 * node.seconds / base:5.1f}%{attrs}"
+        )
+    return "\n".join(lines)
+
+
+def _budget_table(rows: Iterable[Mapping]) -> str:
+    lines = [f"{'stage':<28} {'count':>5} {'total s':>10} {'self s':>10} {'self %':>7}"]
+    rows = list(rows)
+    self_total = sum(r["self_seconds"] for r in rows) or 1e-12
+    for row in rows:
+        lines.append(
+            f"{row['name']:<28} {row['count']:>5} {row['total_seconds']:>10.4f} "
+            f"{row['self_seconds']:>10.4f} {100.0 * row['self_seconds'] / self_total:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics_table(snapshot: Mapping, limit: int | None = None) -> str:
+    """A compact table of every series in a metrics snapshot."""
+    lines = [f"{'metric':<44} {'labels':<36} {'value':>12}"]
+    count = 0
+    for name in sorted(snapshot.get("metrics", {})):
+        entry = snapshot["metrics"][name]
+        for sample in entry.get("series", []):
+            if limit is not None and count >= limit:
+                lines.append(f"… ({sum(len(e.get('series', [])) for e in snapshot['metrics'].values()) - count} more series)")
+                return "\n".join(lines)
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(sample.get("labels", {}).items())
+            )
+            if entry.get("type") == "histogram":
+                n = int(sample.get("count", 0))
+                total = float(sample.get("sum", 0.0))
+                mean = total / n if n else 0.0
+                value = f"n={n} mean={mean:.4f}s"
+                lines.append(f"{name:<44} {labels:<36} {value:>12}")
+            else:
+                lines.append(
+                    f"{name:<44} {labels:<36} {float(sample.get('value', 0.0)):>12g}"
+                )
+            count += 1
+    return "\n".join(lines)
+
+
+def render_report(
+    root: Span | None,
+    snapshot: Mapping | None = None,
+    max_depth: int | None = None,
+) -> str:
+    """The full text report: trace tree, per-stage time budget, metrics."""
+    sections: list[str] = []
+    if root is not None:
+        sections.append("== trace ==\n" + render_trace(root, max_depth=max_depth))
+        budget = time_budget(root)
+        covered = sum(r["self_seconds"] for r in budget)
+        sections.append(
+            "== time budget ==\n"
+            + _budget_table(budget)
+            + f"\n{'(stage total)':<28} {'':>5} {covered:>10.4f}s of {root.seconds:.4f}s wall "
+            + f"({100.0 * covered / max(root.seconds, 1e-12):.1f}%)"
+        )
+    if snapshot is not None:
+        sections.append("== metrics ==\n" + render_metrics_table(snapshot))
+    return "\n\n".join(sections) + "\n"

@@ -45,11 +45,28 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.io.serialization import canonical_json
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (model is light,
     from repro.model import OSPInstance  # but keep runtime deps one-way)
 
 __all__ = ["ArenaRef", "InstanceArena", "attached_instance", "instance_digest"]
+
+_ARENA_EXPORTS = obs_metrics.declare_counter(
+    "arena_exports_total", "Instances exported into shared-memory segments"
+)
+_ARENA_BYTES = obs_metrics.declare_counter(
+    "arena_bytes_total", "Shared-memory bytes written by arena exports"
+)
+_ARENA_SEGMENTS = obs_metrics.declare_gauge(
+    "arena_segments", "Live shared-memory segments in the instance arena"
+)
+_ARENA_RELEASES = obs_metrics.declare_counter(
+    "arena_releases_total", "Arena segments unlinked (trim evictions included)"
+)
+_ARENA_ATTACHES = obs_metrics.declare_counter(
+    "arena_attaches_total", "Worker-side instance attachments", ("result",)
+)
 
 #: Cache keys exported into a segment, in layout order.  These are exactly
 #: the arrays :meth:`OSPInstance._array_cache` builds (and
@@ -184,6 +201,9 @@ class InstanceArena:
         ref = ArenaRef(segment=name, digest=digest)
         self._segments[digest] = segment
         self._refs[digest] = ref
+        _ARENA_EXPORTS.inc()
+        _ARENA_BYTES.inc(segment.size)
+        _ARENA_SEGMENTS.set(len(self._segments))
         return ref
 
     def trim(self, keep: "set[str] | frozenset[str]" = frozenset()) -> int:
@@ -212,12 +232,15 @@ class InstanceArena:
         if segment is None:
             return False
         _close_segment(segment, unlink=os.getpid() == self._owner_pid)
+        _ARENA_RELEASES.inc()
+        _ARENA_SEGMENTS.set(len(self._segments))
         return True
 
     def close(self) -> None:
         """Unlink every segment (idempotent)."""
         _close_segments(self._segments, self._owner_pid)
         self._refs.clear()
+        _ARENA_SEGMENTS.set(0)
 
     def __enter__(self) -> "InstanceArena":
         return self
@@ -280,7 +303,9 @@ def attached_instance(ref: ArenaRef) -> "OSPInstance":
     """
     cached = _ATTACHED.get(ref.digest)
     if cached is not None:
+        _ARENA_ATTACHES.inc(result="cached")
         return cached
+    _ARENA_ATTACHES.inc(result="new")
 
     from repro.model import OSPInstance
 

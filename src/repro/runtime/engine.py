@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.events import PlanEvent
 from repro.model import OSPInstance
+from repro.obs.tracing import span
 from repro.runtime.jobs import JobResult, PlanJob, PlannerSpec
 from repro.runtime.pool import EventRelay, PlannerPool
 from repro.runtime.store import ResultStore
@@ -88,12 +89,15 @@ def iter_jobs(
     jobs = list(jobs)
     hits: dict[int, JobResult] = {}
     misses: list[tuple[int, PlanJob]] = []
-    for index, job in enumerate(jobs):
-        cached = store.get(job) if store is not None else None
-        if cached is not None:
-            hits[index] = cached
-        else:
-            misses.append((index, job))
+    # The probe phase shows up as its own span so a mostly-cached batch
+    # attributes its wall time to store reads instead of to dispatch.
+    with span("store_probe", jobs=len(jobs)):
+        for index, job in enumerate(jobs):
+            cached = store.get(job) if store is not None else None
+            if cached is not None:
+                hits[index] = cached
+            else:
+                misses.append((index, job))
 
     owns_pool = pool is None
     if owns_pool:

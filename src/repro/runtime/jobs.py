@@ -46,6 +46,8 @@ from repro.evaluation.metrics import AlgorithmResult, result_from_plan
 from repro.events import emit
 from repro.io.serialization import canonical_json
 from repro.model import OSPInstance, StencilPlan
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
 from repro.runtime.arena import ArenaRef, InstanceArena, attached_instance
 
 __all__ = [
@@ -280,6 +282,11 @@ class JobResult:
     plan: dict | None = None
     instance_summary: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    # Worker-side metrics snapshot (repro.obs) riding home on the pickle.
+    # Deliberately excluded from to_dict/from_dict: it describes one
+    # *execution*, not the result — persisting it in the store would replay
+    # stale counters into every cache hit.  The pool pops and merges it.
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -347,6 +354,18 @@ class JobResult:
 # --------------------------------------------------------------------------- #
 # Execution
 # --------------------------------------------------------------------------- #
+
+_PLANS = obs_metrics.declare_counter(
+    "plans_total", "Planner executions by outcome", ("planner", "status")
+)
+_PLAN_SECONDS = obs_metrics.declare_histogram(
+    "plan_seconds", "Wall seconds per planner execution", ("planner",)
+)
+_STAGE_SECONDS = obs_metrics.declare_counter(
+    "plan_stage_seconds_total",
+    "Cumulative wall seconds per planner pipeline stage",
+    ("planner", "stage"),
+)
 
 
 @contextmanager
@@ -425,26 +444,37 @@ def execute_job(job: PlanJob, on_event=None) -> JobResult:
         label=job.display_label,
         job_id=job.job_id,
     )
-    try:
-        instance = job.resolve_instance()
-        result.instance_summary = summarize_instance(instance)
-        planner = job.spec.build(instance.kind)
-        with _deadline(job.timeout):
-            plan = planner.plan(instance)
-        condensed = result_from_plan(plan, algorithm=job.display_label, case=instance.name)
-        result.status = "ok"
-        result.writing_time = condensed.writing_time
-        result.num_selected = condensed.num_selected
-        result.runtime_seconds = condensed.runtime_seconds
-        result.extra = dict(condensed.extra)
-        result.plan = plan.to_dict()
-    except JobTimeoutError as exc:
-        result.status = "timeout"
-        result.error = str(exc)
-    except Exception as exc:  # noqa: BLE001 — report, don't kill the batch
-        result.status = "error"
-        result.error = f"{type(exc).__name__}: {exc}"
+    with span(
+        "job",
+        planner=job.spec.planner,
+        case=job.case_name,
+        label=job.display_label,
+        job_id=job.job_id,
+    ):
+        try:
+            instance = job.resolve_instance()
+            result.instance_summary = summarize_instance(instance)
+            planner = job.spec.build(instance.kind)
+            with _deadline(job.timeout):
+                plan = planner.plan(instance)
+            condensed = result_from_plan(plan, algorithm=job.display_label, case=instance.name)
+            result.status = "ok"
+            result.writing_time = condensed.writing_time
+            result.num_selected = condensed.num_selected
+            result.runtime_seconds = condensed.runtime_seconds
+            result.extra = dict(condensed.extra)
+            result.plan = plan.to_dict()
+        except JobTimeoutError as exc:
+            result.status = "timeout"
+            result.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 — report, don't kill the batch
+            result.status = "error"
+            result.error = f"{type(exc).__name__}: {exc}"
     result.wall_seconds = time.perf_counter() - start
+    _PLANS.inc(planner=result.planner, status=result.status)
+    _PLAN_SECONDS.observe(result.wall_seconds, planner=result.planner)
+    for stage, seconds in (result.extra.get("stage_seconds") or {}).items():
+        _STAGE_SECONDS.inc(float(seconds), planner=result.planner, stage=str(stage))
     emit(
         "finished",
         status=result.status,

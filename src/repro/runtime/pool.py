@@ -46,6 +46,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.events import PlanEvent
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
 from repro.runtime.arena import InstanceArena
 from repro.runtime.jobs import JobDescriptor, JobResult, PlanJob, execute_job
 
@@ -76,19 +78,74 @@ def auto_chunksize(num_jobs: int, workers: int) -> int:
     return max(1, min(per_stream, _MAX_CHUNKSIZE))
 
 
-def labelled_event(event: PlanEvent, label: str) -> PlanEvent:
-    """The event with the job label stamped into its payload."""
-    if event.payload.get("label") == label:
+#: Pool-level metrics (see docs/OBSERVABILITY.md).  Declared as pre-bound
+#: instruments: every call is a no-op unless a registry is installed.
+_POOL_JOBS = obs_metrics.declare_counter(
+    "pool_jobs_total",
+    "Job attempts resolved by the planner pool, by outcome",
+    ("status", "mode"),
+)
+_POOL_DISPATCHES = obs_metrics.declare_counter(
+    "pool_dispatches_total", "Futures submitted to worker processes"
+)
+_POOL_RETRIES = obs_metrics.declare_counter(
+    "pool_retries_total", "Job re-submissions after a failed or timed-out attempt"
+)
+_POOL_QUEUE_DEPTH = obs_metrics.declare_gauge(
+    "pool_queue_depth", "Jobs submitted to the current batch but not yet resolved"
+)
+_POOL_WORKERS = obs_metrics.declare_gauge(
+    "pool_workers", "Worker processes of the most recent pool run (1 = inline)"
+)
+_POOL_JOB_SECONDS = obs_metrics.declare_histogram(
+    "pool_job_seconds", "Wall seconds per job attempt as observed by the pool", ("mode",)
+)
+_ARENA_SEGMENTS = obs_metrics.declare_gauge(
+    "arena_segments", "Live shared-memory segments in the instance arena"
+)
+
+
+def labelled_event(
+    event: PlanEvent,
+    label: str,
+    worker_pid: int | None = None,
+    job_id: str | None = None,
+) -> PlanEvent:
+    """The event with label / worker pid / job id stamped into its payload.
+
+    Only missing keys are added (an event that already carries an explicit
+    ``worker_pid`` — e.g. a relayed span — keeps its own), so the stamp is
+    idempotent across the inline and relayed paths.
+    """
+    updates: dict[str, object] = {}
+    if event.payload.get("label") != label:
+        updates["label"] = label
+    if worker_pid is not None and "worker_pid" not in event.payload:
+        updates["worker_pid"] = worker_pid
+    if job_id is not None and "job_id" not in event.payload:
+        updates["job_id"] = job_id
+    if not updates:
         return event
     return PlanEvent(
         type=event.type,
         seq=event.seq,
         elapsed=event.elapsed,
-        payload={**event.payload, "label": label},
+        payload={**event.payload, **updates},
     )
 
 
-def _execute_descriptor(desc: JobDescriptor, event_queue=None, event_types=None) -> JobResult:
+def _execute_descriptor(
+    desc: JobDescriptor, event_queue=None, event_types=None, collect_metrics=False
+) -> JobResult:
+    if collect_metrics:
+        # Worker-side half of the cross-process metrics pipeline: run the
+        # whole execution (descriptor rebuild and arena attach included)
+        # under a fresh registry and ship its snapshot home on the result;
+        # the parent folds it into its own registry at collection time.
+        with obs_metrics.collecting() as registry:
+            result = _execute_descriptor(desc, event_queue, event_types, False)
+        result.metrics = registry.snapshot()
+        return result
     try:
         job = desc.rebuild()
     except Exception as exc:  # noqa: BLE001 — e.g. arena segment gone after a
@@ -107,6 +164,7 @@ def _execute_descriptor(desc: JobDescriptor, event_queue=None, event_types=None)
     if event_queue is None:
         return execute_job(job)
     label = job.display_label
+    pid = os.getpid()
 
     def _relay(event: PlanEvent) -> None:
         # Each put() is an IPC round-trip through the manager proxy, so a
@@ -116,7 +174,9 @@ def _execute_descriptor(desc: JobDescriptor, event_queue=None, event_types=None)
         # sink for the rest of the run instead of failing the job.
         if event_types is not None and event.type not in event_types:
             return
-        event_queue.put(labelled_event(event, label).to_dict())
+        event_queue.put(
+            labelled_event(event, label, worker_pid=pid, job_id=desc.job_id).to_dict()
+        )
 
     return execute_job(job, on_event=_relay)
 
@@ -139,7 +199,25 @@ def _worker_init() -> None:
     exits only when the worker has actually been reparented (its original
     parent is gone) and ignores the signal otherwise — which is also why
     the stuck-worker shutdown path uses SIGKILL, not SIGTERM.
+
+    Fork-started workers also inherit the parent's observability state at
+    fork time: any installed :func:`repro.events.emitting` scopes (whose
+    sinks — progress printers, telemetry files — belong to the parent and
+    would double-deliver every worker event next to the relayed copy), the
+    open-span stack (worker spans would parent to a span id in the parent
+    process instead of rooting locally for job-id re-parenting), and the
+    installed metrics registry (worker counts ship home as snapshots on the
+    results, never through an inherited registry copy).  All three are
+    cleared here, before the worker's first job; under spawn this is a
+    no-op.
     """
+    from repro.events import _STATE
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.tracing import _STACK
+
+    _STATE.scopes.clear()
+    _STACK.ids.clear()
+    obs_metrics.uninstall()
     try:
         import ctypes
         import signal as _signal
@@ -158,15 +236,23 @@ def _worker_init() -> None:
         pass
 
 
-def _pool_worker(desc: JobDescriptor, event_queue=None, event_types=None) -> JobResult:
+def _pool_worker(
+    desc: JobDescriptor, event_queue=None, event_types=None, collect_metrics=False
+) -> JobResult:
     # Module-level so it pickles under every multiprocessing start method.
-    return _execute_descriptor(desc, event_queue, event_types)
+    return _execute_descriptor(desc, event_queue, event_types, collect_metrics)
 
 
 def _pool_worker_chunk(
-    descs: Sequence[JobDescriptor], event_queue=None, event_types=None
+    descs: Sequence[JobDescriptor],
+    event_queue=None,
+    event_types=None,
+    collect_metrics=False,
 ) -> list[JobResult]:
-    return [_execute_descriptor(desc, event_queue, event_types) for desc in descs]
+    return [
+        _execute_descriptor(desc, event_queue, event_types, collect_metrics)
+        for desc in descs
+    ]
 
 
 class EventRelay:
@@ -370,12 +456,22 @@ class PlannerPool:
         jobs = list(jobs)
         if not jobs:
             return
+        _POOL_WORKERS.set(self.max_workers)
         if self.inline:
-            for job in jobs:
-                yield self._run_with_retries_inline(job, on_event=on_event)
+            pending = len(jobs)
+            _POOL_QUEUE_DEPTH.set(pending)
+            try:
+                for job in jobs:
+                    result = self._run_with_retries_inline(job, on_event=on_event)
+                    pending -= 1
+                    _POOL_QUEUE_DEPTH.set(pending)
+                    yield result
+            finally:
+                _POOL_QUEUE_DEPTH.set(0)
             return
         executor = self._ensure_executor()
         descriptors = self.describe(jobs)
+        collect_metrics = obs_metrics.installed() is not None
         if chunksize is None:
             chunksize = self.chunksize
         if chunksize is None:
@@ -394,13 +490,20 @@ class PlannerPool:
             for i in range(0, len(jobs), chunksize)
         ]
         futures: list[Future] = [
-            executor.submit(_pool_worker_chunk, descs, event_queue)
+            executor.submit(_pool_worker_chunk, descs, event_queue, None, collect_metrics)
             for _, descs in chunks
         ]
+        _POOL_DISPATCHES.inc(len(futures))
+        pending = len(jobs)
+        _POOL_QUEUE_DEPTH.set(pending)
         try:
             for (chunk_jobs, _), future in zip(chunks, futures):
-                yield from self._await_chunk(chunk_jobs, future, event_queue)
+                results = self._await_chunk(chunk_jobs, future, event_queue)
+                pending -= len(chunk_jobs)
+                _POOL_QUEUE_DEPTH.set(pending)
+                yield from results
         finally:
+            _POOL_QUEUE_DEPTH.set(0)
             # Between batches, bound the warm arena: evict the oldest
             # segments beyond capacity, keeping this batch's digests (a
             # serving pool over a stream of distinct instances must not
@@ -408,6 +511,7 @@ class PlannerPool:
             self.trim_arena(
                 keep={d.instance_hash for _, descs in chunks for d in descs}
             )
+            _ARENA_SEGMENTS.set(len(self._arena) if self._arena is not None else 0)
 
     def submit(
         self, jobs: Sequence[PlanJob], event_queue=None, event_types=None
@@ -419,10 +523,14 @@ class PlannerPool:
         only reads a subset, to keep IPC off the planner hot paths.
         """
         executor = self._ensure_executor()
-        return [
-            executor.submit(_pool_worker, desc, event_queue, event_types)
+        collect_metrics = obs_metrics.installed() is not None
+        futures = [
+            executor.submit(_pool_worker, desc, event_queue, event_types, collect_metrics)
             for desc in self.describe(list(jobs))
         ]
+        _POOL_DISPATCHES.inc(len(futures))
+        _POOL_WORKERS.set(self.max_workers)
+        return futures
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -433,17 +541,22 @@ class PlannerPool:
         sink = None
         if on_event is not None:
             label = job.display_label
+            pid = os.getpid()
 
             def sink(event: PlanEvent) -> None:
-                on_event(labelled_event(event, label))
+                on_event(
+                    labelled_event(event, label, worker_pid=pid, job_id=job.job_id)
+                )
 
         attempts = 0
         while True:
             attempts += 1
             result = execute_job(job, on_event=sink)
             result.attempts = attempts
+            self._note(result, "inline")
             if result.ok or attempts > self.retries:
                 return result
+            _POOL_RETRIES.inc()
 
     def _wait_bound(self, job: PlanJob) -> float | None:
         return (job.timeout + _WAIT_GRACE) if job.timeout else None
@@ -456,6 +569,22 @@ class PlannerPool:
         if any(bound is None for bound in bounds):
             return None
         return sum(bounds)
+
+    @staticmethod
+    def _note(result: JobResult, mode: str) -> None:
+        """Account one resolved job attempt, folding in its worker snapshot.
+
+        This is the parent-side half of the cross-process metrics pipeline:
+        the snapshot a worker attached in ``_execute_descriptor`` is popped
+        off the result (it is transport, not payload) and merged into the
+        installed registry.  No-op without one.
+        """
+        snapshot, result.metrics = result.metrics, None
+        registry = obs_metrics.installed()
+        if registry is not None and snapshot is not None:
+            registry.merge(snapshot)
+        _POOL_JOBS.inc(status=result.status, mode=mode)
+        _POOL_JOB_SECONDS.observe(result.wall_seconds, mode=mode)
 
     def collect(self, job: PlanJob, future: Future) -> JobResult:
         """Resolve one single-job future into a :class:`JobResult` (no retries)."""
@@ -473,9 +602,18 @@ class PlannerPool:
             result = self._failed(job, "error", f"worker pool broke: {exc}")
         except Exception as exc:  # noqa: BLE001 — unexpected submission failure
             result = self._failed(job, "error", f"{type(exc).__name__}: {exc}")
+        self._note(result, "pool")
         return result
 
     def _collect_chunk(
+        self, jobs: Sequence[PlanJob], future: Future
+    ) -> list[JobResult]:
+        results = self._collect_chunk_raw(jobs, future)
+        for result in results:
+            self._note(result, "pool")
+        return results
+
+    def _collect_chunk_raw(
         self, jobs: Sequence[PlanJob], future: Future
     ) -> list[JobResult]:
         try:
@@ -506,23 +644,32 @@ class PlannerPool:
     def _await_chunk(
         self, jobs: Sequence[PlanJob], future: Future, event_queue=None
     ) -> list[JobResult]:
-        results = self._collect_chunk(jobs, future)
-        for index, result in enumerate(results):
-            result.attempts = 1
-            attempts = 1
-            while not result.ok and attempts <= self.retries:
-                # Retries run one job per future: a failure inside a chunk
-                # must not re-run its healthy neighbours.  The job is
-                # re-described rather than reusing the original descriptor —
-                # if the pool broke, the arena went down with it, and a
-                # fresh descriptor re-exports the instance into the new one.
-                attempts += 1
-                [desc] = self.describe([jobs[index]])
-                retry = self._ensure_executor().submit(_pool_worker, desc, event_queue)
-                result = self.collect(jobs[index], retry)
-                result.attempts = attempts
-            results[index] = result
-        return results
+        with span("dispatch", jobs=len(jobs), job_ids=[job.job_id for job in jobs]):
+            results = self._collect_chunk(jobs, future)
+            for index, result in enumerate(results):
+                result.attempts = 1
+                attempts = 1
+                while not result.ok and attempts <= self.retries:
+                    # Retries run one job per future: a failure inside a chunk
+                    # must not re-run its healthy neighbours.  The job is
+                    # re-described rather than reusing the original descriptor —
+                    # if the pool broke, the arena went down with it, and a
+                    # fresh descriptor re-exports the instance into the new one.
+                    attempts += 1
+                    _POOL_RETRIES.inc()
+                    [desc] = self.describe([jobs[index]])
+                    retry = self._ensure_executor().submit(
+                        _pool_worker,
+                        desc,
+                        event_queue,
+                        None,
+                        obs_metrics.installed() is not None,
+                    )
+                    _POOL_DISPATCHES.inc()
+                    result = self.collect(jobs[index], retry)
+                    result.attempts = attempts
+                results[index] = result
+            return results
 
     @staticmethod
     def _failed(job: PlanJob, status: str, message: str) -> JobResult:

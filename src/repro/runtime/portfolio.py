@@ -32,12 +32,30 @@ from typing import Callable, Mapping
 from repro.errors import ValidationError
 from repro.events import PlanEvent, guarded_sink
 from repro.model import OSPInstance
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
 from repro.runtime.jobs import JobResult, PlanJob, PlannerSpec, execute_job
 from repro.runtime.pool import EventRelay, PlannerPool, default_workers, labelled_event
 from repro.runtime.store import ResultStore
 from repro.runtime.telemetry import Telemetry
 
 __all__ = ["PortfolioOutcome", "portfolio_jobs", "run_portfolio"]
+
+_RACES = obs_metrics.declare_counter("portfolio_races_total", "Portfolio races run")
+_ENTRANTS = obs_metrics.declare_counter(
+    "portfolio_entrants_total",
+    "Portfolio entrants by final outcome",
+    ("outcome",),  # cache_hit | ok | error | timeout | cancelled
+)
+_STOPS = obs_metrics.declare_counter(
+    "portfolio_stops_total",
+    "Early race stops by reason",
+    ("reason",),  # target | budget | grace
+)
+_GRACE_FIRES = obs_metrics.declare_counter(
+    "portfolio_grace_fires_total",
+    "Times the straggler grace deadline fired and stragglers were re-judged",
+)
 
 
 @dataclass
@@ -211,6 +229,7 @@ def run_portfolio(
         # be accounted for (every other stop path lists them as cancelled).
         outcome.cancelled.extend(job.display_label for job in pending_jobs)
         pending_jobs = []
+        _STOPS.inc(reason="target")
     if pending_jobs:
         owns_pool = pool is None
         if owns_pool:
@@ -218,18 +237,24 @@ def run_portfolio(
             workers = min(workers, len(pending_jobs))
             pool = PlannerPool(max_workers=workers)
         try:
-            if pool.inline:
-                _run_serial(
-                    pending_jobs, outcome, race, start,
-                    budget=budget, straggler_grace=straggler_grace,
-                    on_event=on_event, store=store,
-                )
-            else:
-                _run_race(
-                    pool, pending_jobs, outcome, race, start,
-                    budget=budget, straggler_grace=straggler_grace,
-                    on_event=on_event, store=store, owns_pool=owns_pool,
-                )
+            with span(
+                "portfolio",
+                case=jobs[0].case_name,
+                entrants=len(jobs),
+                pending=len(pending_jobs),
+            ):
+                if pool.inline:
+                    _run_serial(
+                        pending_jobs, outcome, race, start,
+                        budget=budget, straggler_grace=straggler_grace,
+                        on_event=on_event, store=store,
+                    )
+                else:
+                    _run_race(
+                        pool, pending_jobs, outcome, race, start,
+                        budget=budget, straggler_grace=straggler_grace,
+                        on_event=on_event, store=store, owns_pool=owns_pool,
+                    )
         finally:
             if owns_pool:
                 pool.shutdown(wait=True)
@@ -240,6 +265,11 @@ def run_portfolio(
     outcome.winner = race.winner
 
     outcome.wall_seconds = time.perf_counter() - start
+    _RACES.inc()
+    for result in outcome.results:
+        _ENTRANTS.inc(outcome="cache_hit" if result.cache_hit else result.status)
+    for _ in outcome.cancelled:
+        _ENTRANTS.inc(outcome="cancelled")
     if telemetry is not None:
         for result in outcome.results:
             telemetry.record(
@@ -271,12 +301,20 @@ def _run_serial(
     # race bookkeeping must keep seeing events after a broken callback is
     # dropped.
     callback = guarded_sink(on_event)
+    stop_reasons: set[str] = set()
     for job in pending_jobs:
         if budget is not None and time.perf_counter() - start > budget:
             outcome.cancelled.append(job.display_label)
+            if "budget" not in stop_reasons:
+                stop_reasons.add("budget")
+                _STOPS.inc(reason="budget")
             continue
         if race.target_reached or (straggler_grace is not None and race.winner is not None):
             outcome.cancelled.append(job.display_label)
+            reason = "target" if race.target_reached else "grace"
+            if reason not in stop_reasons:
+                stop_reasons.add(reason)
+                _STOPS.inc(reason=reason)
             continue
         sink = None
         if callback is not None:
@@ -382,12 +420,15 @@ def _run_race(
                 if straggler_grace is not None and grace_deadline is None and race.winner_at is not None:
                     grace_deadline = race.winner_at + straggler_grace
             if race.target_reached:
+                _STOPS.inc(reason="target")
                 break  # good enough — stop the race
             if not done:
                 now = time.perf_counter()
                 if deadline is not None and now >= deadline:
+                    _STOPS.inc(reason="budget")
                     break  # budget expired
                 if grace_deadline is not None and now >= grace_deadline:
+                    _GRACE_FIRES.inc()
                     # Grace expired: keep waiting only while some straggler's
                     # incumbent stream shows it beating the current winner
                     # *and* still flowing — a straggler that went quiet for a
@@ -402,6 +443,7 @@ def _run_race(
                     ):
                         grace_deadline = now + 0.25  # promising — re-check shortly
                     else:
+                        _STOPS.inc(reason="grace")
                         break
         for future in remaining:
             future.cancel()

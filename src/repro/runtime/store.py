@@ -29,9 +29,20 @@ from pathlib import Path
 
 from repro import __version__
 from repro.io.serialization import canonical_json, write_text_atomic
+from repro.obs import metrics as obs_metrics
 from repro.runtime.jobs import JobResult, PlanJob
 
 __all__ = ["ResultStore", "default_cache_dir", "code_version"]
+
+_STORE_REQUESTS = obs_metrics.declare_counter(
+    "store_requests_total", "Result-store lookups by outcome", ("outcome",)
+)
+_STORE_PUTS = obs_metrics.declare_counter(
+    "store_puts_total", "Results persisted into the store"
+)
+_STORE_BYTES = obs_metrics.declare_counter(
+    "store_bytes_total", "Bytes served from / written to the store", ("direction",)
+)
 
 
 @lru_cache(maxsize=1)
@@ -85,9 +96,13 @@ class ResultStore:
         """The cached result for ``job``, marked ``cache_hit=True``, or None."""
         path = self.path_for(job)
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+            data = json.loads(text)
         except (OSError, ValueError):
+            _STORE_REQUESTS.inc(outcome="miss")
             return None
+        _STORE_REQUESTS.inc(outcome="hit")
+        _STORE_BYTES.inc(len(text), direction="read")
         result = JobResult.from_dict(data)
         result.cache_hit = True
         # The stored record carries the label of whoever computed it; rebind
@@ -101,7 +116,11 @@ class ResultStore:
         """Persist an ``ok`` result (no-op for errors/timeouts/cache hits)."""
         if not result.ok or result.cache_hit:
             return None
-        return write_text_atomic(self.path_for(job), canonical_json(result.to_dict()))
+        payload = canonical_json(result.to_dict())
+        path = write_text_atomic(self.path_for(job), payload)
+        _STORE_PUTS.inc()
+        _STORE_BYTES.inc(len(payload), direction="written")
+        return path
 
     # ------------------------------------------------------------------ #
     # Maintenance

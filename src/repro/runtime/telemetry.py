@@ -51,14 +51,7 @@ class Telemetry:
             if not append:
                 self.path.write_text("")
 
-    def record_event(self, event, **extra) -> dict:
-        """Log one :class:`~repro.events.PlanEvent` as an event record.
-
-        Event records carry ``"record": "event"`` and no ``status`` field;
-        :func:`summarize_manifest` skips them, so a manifest may freely mix
-        job outcomes with fine-grained progress streams.
-        """
-        entry = {"ts": time.time(), "record": "event", **event.to_dict()}
+    def _write(self, entry: dict, extra: Mapping) -> dict:
         entry.update(extra)
         self.records.append(entry)
         if self.path is not None:
@@ -66,10 +59,38 @@ class Telemetry:
                 handle.write(canonical_json(entry) + "\n")
         return entry
 
+    def record_event(self, event, **extra) -> dict:
+        """Log one :class:`~repro.events.PlanEvent` as an event record.
+
+        Event records carry ``"record": "event"`` and no ``status`` field;
+        :func:`summarize_manifest` skips them, so a manifest may freely mix
+        job outcomes with fine-grained progress streams.
+        """
+        entry = {"ts": time.time(), "v": 1, "record": "event", **event.to_dict()}
+        return self._write(entry, extra)
+
+    def record_metrics(self, snapshot: Mapping, **extra) -> dict:
+        """Log one :mod:`repro.obs` metrics snapshot as a ``metrics`` record.
+
+        Written at end of run (the CLI's ``--metrics-out`` path also writes
+        one into the manifest when both flags are given), so a manifest is a
+        self-contained run report: job outcomes, event stream, and the final
+        counters in one file.
+        """
+        entry = {
+            "ts": time.time(),
+            "v": 1,
+            "record": "metrics",
+            "metrics": dict(snapshot.get("metrics", snapshot)),
+        }
+        return self._write(entry, extra)
+
     def record(self, result: JobResult, **extra) -> dict:
         """Log one job outcome; returns the record that was written."""
         entry = {
             "ts": time.time(),
+            "v": 1,
+            "record": "job",
             "job_id": result.job_id,
             "case": result.case,
             "planner": result.planner,
@@ -87,30 +108,47 @@ class Telemetry:
             # engine, ...) ride along so manifests carry the full picture.
             "extra": dict(result.extra),
         }
-        entry.update(extra)
-        self.records.append(entry)
-        if self.path is not None:
-            with self.path.open("a") as handle:
-                handle.write(canonical_json(entry) + "\n")
-        return entry
+        return self._write(entry, extra)
 
     def summary(self) -> dict:
         return summarize_manifest(self.records)
 
 
 def read_manifest(path: str | Path) -> list[dict]:
-    """Load a JSONL manifest written by :class:`Telemetry`."""
+    """Load a JSONL manifest written by :class:`Telemetry`.
+
+    Tolerant of foreign content: a line that is not a JSON object (corrupt
+    tail of a crashed run, an unrelated log line) is skipped rather than
+    failing the whole read.  Record kinds this version does not know keep
+    their dicts verbatim — consumers filter on ``"record"`` themselves.
+    """
     records = []
     for line in Path(path).read_text().splitlines():
         line = line.strip()
-        if line:
-            records.append(json.loads(line))
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
     return records
 
 
 def summarize_manifest(records: Iterable[Mapping]) -> dict:
-    """Aggregate counters over manifest records (job records only)."""
-    records = [r for r in records if "status" in r]
+    """Aggregate counters over manifest records (job records only).
+
+    Filters on the ``record`` kind (absent means ``"job"``, the v0 shape)
+    *and* the presence of ``status``, so unknown record kinds introduced by
+    later schema versions — or event/metrics records — can never skew the
+    job counters.
+    """
+    records = [
+        r
+        for r in records
+        if r.get("record", "job") == "job" and "status" in r
+    ]
     statuses: dict[str, int] = {}
     hits = 0
     wall = 0.0

@@ -35,15 +35,18 @@ class TestEmitter:
         assert [e.seq for e in inner] == [1]
 
     def test_broken_sink_is_dropped_not_fatal(self):
+        import pytest
+
         healthy = []
 
         def broken(event):
             raise RuntimeError("boom")
 
-        with emitting(broken):
-            with emitting(healthy.append):
-                emit("stage", name="x")
-                emit("stage", name="y")
+        with pytest.warns(RuntimeWarning, match="dropped"):
+            with emitting(broken):
+                with emitting(healthy.append):
+                    emit("stage", name="x")
+                    emit("stage", name="y")
         assert [e.payload["name"] for e in healthy] == ["x", "y"]
 
     def test_sink_is_thread_local(self):

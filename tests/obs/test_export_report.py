@@ -1,0 +1,91 @@
+"""Snapshot export (JSON + Prometheus exposition) and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import (
+    load_snapshot,
+    render_prometheus,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_metrics_table, render_report, time_budget
+from repro.obs.tracing import Span
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", 'say "hi"\nthere', ("status",)).labels(status="ok").inc(3)
+    reg.gauge("workers", "live workers").labels().set(2)
+    h = reg.histogram("secs", "seconds", buckets=(0.1, 1.0))
+    h.labels().observe(0.05)
+    h.labels().observe(0.5)
+    h.labels().observe(5.0)
+    return reg
+
+
+class TestExport:
+    def test_write_load_round_trip(self, tmp_path):
+        snap = _registry().snapshot()
+        path = write_snapshot(snap, tmp_path / "nested" / "m.json")
+        assert load_snapshot(path) == validate_snapshot(snap)
+
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            validate_snapshot([])
+        with pytest.raises(ValueError):
+            validate_snapshot({"v": 99, "metrics": {}})
+        with pytest.raises(ValueError):
+            validate_snapshot({"v": 1})
+        with pytest.raises(ValueError):
+            validate_snapshot({"v": 1, "metrics": {"x": {}}})
+
+    def test_prometheus_counter_and_gauge_lines(self):
+        text = render_prometheus(_registry().snapshot())
+        assert '# TYPE jobs_total counter' in text
+        assert 'jobs_total{status="ok"} 3' in text
+        assert "workers 2" in text
+        # Help text is escaped: quotes survive, newlines become \n.
+        assert '# HELP jobs_total say "hi"\\nthere' in text
+
+    def test_prometheus_histogram_is_cumulative(self):
+        text = render_prometheus(_registry().snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("secs")]
+        assert 'secs_bucket{le="0.1"} 1' in lines
+        assert 'secs_bucket{le="1"} 2' in lines
+        assert 'secs_bucket{le="+Inf"} 3' in lines
+        assert "secs_count 3" in lines
+        [sum_line] = [l for l in lines if l.startswith("secs_sum")]
+        assert float(sum_line.split()[1]) == pytest.approx(5.55)
+
+
+class TestReport:
+    def _tree(self) -> Span:
+        root = Span("job", "1-1", None, 1.0, 1, attrs={"case": "1T-1"})
+        stage = Span("rounding", "1-2", "1-1", 0.6, 1)
+        stage.children = [Span("lp_solve", "1-3", "1-2", 0.5, 1)]
+        root.children = [stage]
+        return root
+
+    def test_time_budget_self_seconds(self):
+        rows = {r["name"]: r for r in time_budget(self._tree())}
+        assert rows["job"]["self_seconds"] == pytest.approx(0.4)
+        assert rows["rounding"]["self_seconds"] == pytest.approx(0.1)
+        assert rows["lp_solve"]["self_seconds"] == pytest.approx(0.5)
+        # Self-seconds sum to the root's wall time.
+        total = sum(r["self_seconds"] for r in rows.values())
+        assert total == pytest.approx(1.0)
+
+    def test_render_report_sections(self):
+        text = render_report(self._tree(), _registry().snapshot())
+        assert "== trace ==" in text
+        assert "== time budget ==" in text
+        assert "== metrics ==" in text
+        assert "case=1T-1" in text
+        assert "1.0000s wall (100.0%)" in text
+
+    def test_render_metrics_table_histogram_row(self):
+        text = render_metrics_table(_registry().snapshot())
+        assert "n=3 mean=1.8500s" in text

@@ -1,0 +1,155 @@
+"""Registry semantics: families, labels, snapshots, merge, instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFamilies:
+    def test_counter_inc_and_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs", ("status",))
+        c.labels(status="ok").inc()
+        c.labels(status="ok").inc(2.0)
+        c.labels(status="error").inc()
+        snap = reg.snapshot()
+        series = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in snap["metrics"]["jobs_total"]["series"]
+        }
+        assert series[(("status", "ok"),)] == 3.0
+        assert series[(("status", "error"),)] == 1.0
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.labels().set(5.0)
+        g.labels().inc(-2.0)
+        assert reg.snapshot()["metrics"]["depth"]["series"][0]["value"] == 3.0
+
+    def test_histogram_observe(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("secs", "seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.labels().observe(value)
+        [sample] = reg.snapshot()["metrics"]["secs"]["series"]
+        # Non-cumulative per-bucket counts; trailing slot is +Inf overflow.
+        assert sample["counts"] == [1, 1, 1]
+        assert sample["count"] == 3
+        assert sample["sum"] == pytest.approx(5.55)
+
+    def test_label_validation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "x", ("a", "b"))
+        with pytest.raises(ValueError):
+            c.labels(a="1")  # missing b
+        with pytest.raises(ValueError):
+            c.labels(a="1", b="2", c="3")  # extra label
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "x")
+
+    def test_labelnames_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x", ("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "x", ("b",))
+
+
+class TestSnapshotMerge:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help text", ("k",)).labels(k="v").inc()
+        snap = reg.snapshot()
+        assert snap["v"] == 1
+        entry = snap["metrics"]["c_total"]
+        assert entry["type"] == "counter"
+        assert entry["help"] == "help text"
+        assert entry["labelnames"] == ["k"]
+
+    def test_merge_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total", "c").labels().inc(2)
+        b.counter("c_total", "c").labels().inc(3)
+        a.merge(b.snapshot())
+        assert a.snapshot()["metrics"]["c_total"]["series"][0]["value"] == 5.0
+
+    def test_merge_gauges_take_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", "g").labels().set(1)
+        b.gauge("g", "g").labels().set(9)
+        a.merge(b.snapshot())
+        assert a.snapshot()["metrics"]["g"]["series"][0]["value"] == 9.0
+
+    def test_merge_histograms_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", "h", buckets=(1.0,)).labels().observe(0.5)
+        b.histogram("h", "h", buckets=(1.0,)).labels().observe(2.0)
+        a.merge(b.snapshot())
+        [sample] = a.snapshot()["metrics"]["h"]["series"]
+        assert sample["counts"] == [1, 1]
+        assert sample["count"] == 2
+
+    def test_merge_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", "h", buckets=(1.0,)).labels().observe(0.5)
+        b.histogram("h", "h", buckets=(2.0,)).labels().observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_creates_unknown_families(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("new_total", "fresh", ("k",)).labels(k="v").inc(4)
+        a.merge(b.snapshot())
+        entry = a.snapshot()["metrics"]["new_total"]
+        assert entry["help"] == "fresh"
+        assert entry["series"][0] == {"labels": {"k": "v"}, "value": 4.0}
+
+    def test_from_snapshot_round_trip(self):
+        a = MetricsRegistry()
+        a.counter("c_total", "c", ("k",)).labels(k="v").inc(7)
+        a.histogram("h", "h").labels().observe(0.01)
+        restored = MetricsRegistry.from_snapshot(a.snapshot())
+        assert restored.snapshot() == a.snapshot()
+
+
+class TestInstruments:
+    def test_noop_without_registry(self):
+        c = obs_metrics.declare_counter("test_orphan_total", "orphan")
+        assert obs_metrics.installed() is None
+        c.inc()  # must not raise, must not create state anywhere
+
+    def test_records_into_installed_registry(self):
+        c = obs_metrics.declare_counter("test_bound_total", "bound", ("k",))
+        with obs_metrics.collecting() as reg:
+            c.inc(k="v")
+            c.inc(2.0, k="v")
+        assert reg.snapshot()["metrics"]["test_bound_total"]["series"][0]["value"] == 3.0
+        # After the scope ends the instrument is a no-op again.
+        assert obs_metrics.installed() is None
+        c.inc(k="v")
+        assert reg.snapshot()["metrics"]["test_bound_total"]["series"][0]["value"] == 3.0
+
+    def test_collecting_restores_previous_registry(self):
+        outer = obs_metrics.install()
+        try:
+            with obs_metrics.collecting() as inner:
+                assert obs_metrics.installed() is inner
+            assert obs_metrics.installed() is outer
+        finally:
+            obs_metrics.uninstall()
+
+    def test_instrument_follows_registry_swaps(self):
+        g = obs_metrics.declare_gauge("test_swap_gauge", "swap")
+        with obs_metrics.collecting() as first:
+            g.set(1.0)
+        with obs_metrics.collecting() as second:
+            g.set(2.0)
+        assert first.snapshot()["metrics"]["test_swap_gauge"]["series"][0]["value"] == 1.0
+        assert second.snapshot()["metrics"]["test_swap_gauge"]["series"][0]["value"] == 2.0

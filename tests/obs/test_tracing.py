@@ -1,0 +1,137 @@
+"""Span emission, nesting, and consumer-side trace assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import PlanEvent, emitting, events_enabled
+from repro.obs.tracing import TraceCollector, current_span_id, record_span, span
+
+
+def _span_event(name, span_id, parent_id=None, seconds=0.1, pid=0, **attrs):
+    return PlanEvent(
+        type="span",
+        payload={
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "seconds": seconds,
+            "pid": pid,
+            **attrs,
+        },
+    )
+
+
+class TestSpanEmission:
+    def test_noop_without_sink(self):
+        assert not events_enabled()
+        with span("outer") as s:
+            assert s.span_id is None
+            assert current_span_id() is None
+
+    def test_nested_spans_parent_in_thread(self):
+        collector = TraceCollector()
+        with emitting(collector):
+            with span("outer", case="x"):
+                with span("inner"):
+                    pass
+        by_name = {s.name: s for s in collector.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["outer"].attrs["case"] == "x"
+        # Children close before parents, so seconds nest consistently.
+        assert by_name["outer"].seconds >= by_name["inner"].seconds
+
+    def test_record_span_emits_leaf_child(self):
+        collector = TraceCollector()
+        with emitting(collector):
+            with span("parent"):
+                record_span("leaf", 0.25, warm=True)
+        by_name = {s.name: s for s in collector.spans()}
+        assert by_name["leaf"].parent_id == by_name["parent"].span_id
+        assert by_name["leaf"].seconds == 0.25
+        assert by_name["leaf"].attrs["warm"] is True
+
+    def test_stage_scopes_emit_spans(self):
+        from repro.events import timed_stage
+
+        collector = TraceCollector()
+        seconds_by_stage: dict[str, float] = {}
+        with emitting(collector):
+            with timed_stage("clustering", seconds_by_stage):
+                pass
+        assert "clustering" in seconds_by_stage
+        names = [s.name for s in collector.spans()]
+        assert "clustering" in names
+
+
+class TestTraceAssembly:
+    def test_parent_id_resolution(self):
+        collector = TraceCollector()
+        collector(_span_event("child", "1-2", parent_id="1-1"))
+        collector(_span_event("root", "1-1", seconds=1.0))
+        tree = collector.tree()
+        assert tree.name == "root"
+        assert [c.name for c in tree.children] == ["child"]
+
+    def test_orphan_with_job_id_stitches_under_dispatch(self):
+        collector = TraceCollector()
+        # Parent-side root + dispatch declaring the job ids it awaits.
+        collector(_span_event("batch", "1-1", pid=collector.pid, seconds=2.0))
+        collector(
+            _span_event("dispatch", "1-2", parent_id="1-1", pid=collector.pid, job_ids=["j9"])
+        )
+        # Worker-side job span: foreign pid, no resolvable parent.
+        collector(_span_event("job", "777-1", pid=777, job_id="j9"))
+        tree = collector.tree()
+        dispatch = tree.children[0]
+        assert dispatch.name == "dispatch"
+        assert [c.name for c in dispatch.children] == ["job"]
+
+    def test_orphans_attach_under_single_local_root(self):
+        collector = TraceCollector()
+        collector(_span_event("batch", "1-1", pid=collector.pid, seconds=2.0))
+        collector(_span_event("job", "777-1", pid=777))  # no job_id at all
+        tree = collector.tree()
+        assert tree.name == "batch"
+        assert [c.name for c in tree.children] == ["job"]
+
+    def test_synthetic_root_when_no_single_local_root(self):
+        collector = TraceCollector()
+        collector(_span_event("job", "777-1", pid=777, seconds=1.0))
+        collector(_span_event("job", "888-1", pid=888, seconds=2.0))
+        tree = collector.tree(root_name="batch-trace")
+        assert tree.name == "batch-trace"
+        assert len(tree.children) == 2
+        assert tree.seconds == 3.0
+
+    def test_duplicate_span_ids_collapse(self):
+        collector = TraceCollector()
+        event = _span_event("job", "777-1", pid=777)
+        collector(event)
+        collector(event)  # same event through a second nested scope
+        assert len(collector.spans()) == 1
+
+    def test_add_event_dict_filters_and_parses(self):
+        collector = TraceCollector()
+        collector.add_event_dict({"record": "job", "status": "ok"})  # ignored
+        collector.add_event_dict(
+            {
+                "record": "event",
+                "type": "span",
+                "seq": 3,
+                "elapsed": 0.5,
+                "payload": {"name": "job", "span_id": "1-1", "seconds": 0.5, "pid": 1},
+            }
+        )
+        [node] = collector.spans()
+        assert node.name == "job" and node.seconds == 0.5
+
+    def test_self_seconds_and_walk(self):
+        collector = TraceCollector()
+        collector(_span_event("root", "1-1", seconds=1.0))
+        collector(_span_event("a", "1-2", parent_id="1-1", seconds=0.3))
+        collector(_span_event("b", "1-3", parent_id="1-1", seconds=0.4))
+        tree = collector.tree()
+        assert tree.self_seconds == pytest.approx(0.3)
+        assert [(d, s.name) for d, s in tree.walk()] == [(0, "root"), (1, "a"), (1, "b")]
