@@ -157,6 +157,33 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--timeout", type=float, default=None, help="per-job wall-clock seconds")
     batch.add_argument("--retries", type=int, default=0, help="re-runs for failed/timed-out jobs")
     batch.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under the fault-tolerant supervisor: durable job leases, "
+        "heartbeat-driven worker supervision, automatic re-queue with backoff "
+        "on worker death, and poison-job quarantine",
+    )
+    batch.add_argument(
+        "--journal",
+        default=None,
+        help="write the supervisor's JSONL job journal here (implies "
+        "--supervise; default with --manifest: <manifest>.journal.jsonl)",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed batch from its journal: finished jobs are "
+        "served from journal + store, only unfinished jobs re-execute "
+        "(implies --supervise; needs --journal or --manifest)",
+    )
+    batch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="supervised dispatch attempts per job before quarantine "
+        "(implies --supervise; default 3)",
+    )
+    batch.add_argument(
         "--best-effort",
         action="store_true",
         help="keep E-BLOW's wall-clock ILP cap (faster under load, but plans may "
@@ -243,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--depth", type=int, default=None, help="truncate the tree display")
     trace.add_argument("--json", action="store_true", help="emit the span tree as JSON")
+
+    jobs = sub.add_parser("jobs", help="inspect a supervisor job journal")
+    jobs.add_argument("journal", help="JSONL job journal (from batch --journal / --supervise)")
+    jobs.add_argument(
+        "--ops",
+        action="store_true",
+        help="also print the raw lease-op history per job",
+    )
+    jobs.add_argument("--json", action="store_true", help="emit the replayed state as JSON")
 
     cache = sub.add_parser("cache", help="inspect or clear the result store")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -469,8 +505,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     }
     scale = args.scale if args.scale is not None else default_scale()
 
+    supervised = (
+        args.supervise
+        or args.resume
+        or args.journal is not None
+        or args.max_attempts is not None
+    )
+    journal = args.journal
+    if supervised and journal is None and args.manifest:
+        # Default the journal next to the manifest so one --manifest flag
+        # yields a fully resumable run (run.jsonl -> run.journal.jsonl).
+        from pathlib import Path
+
+        manifest_path = Path(args.manifest)
+        journal = str(
+            manifest_path.with_name(manifest_path.stem + ".journal" + (manifest_path.suffix or ".jsonl"))
+        )
+    if args.resume and journal is None:
+        print("batch: --resume needs --journal (or --manifest)", file=sys.stderr)
+        return 2
+
     store = _batch_store(args)
-    telemetry = Telemetry(args.manifest)
+    # A resumed run appends to the existing manifest instead of truncating it,
+    # so the combined file tells the whole story of the crashed + resumed run.
+    telemetry = Telemetry(args.manifest, append=args.resume)
     grid = grid_jobs(cases, planners, scale=scale, timeout=args.timeout)
 
     # --events-out records every PlanEvent as JSONL.  With worker processes
@@ -502,7 +560,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
     )
     with pool, scope, (span("batch", jobs=args.jobs, cases=len(cases)) if span else nullcontext()):
-        for result in iter_jobs(grid, store=store, telemetry=telemetry, pool=pool, on_event=sink):
+        for result in iter_jobs(
+            grid,
+            store=store,
+            telemetry=telemetry,
+            pool=pool,
+            on_event=sink,
+            supervise=supervised,
+            journal=journal,
+            resume=args.resume,
+            max_attempts=args.max_attempts,
+        ):
             results.append(result)
             if not args.json:
                 origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
@@ -524,15 +592,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         payload = {"results": [r.to_dict() for r in results], "summary": summary}
         print(json.dumps(payload, indent=2, default=str))
     else:
+        tail = ""
+        if summary.get("cancelled"):
+            tail += f", {summary['cancelled']} cancelled"
+        if summary.get("quarantined"):
+            tail += f", {summary['quarantined']} quarantined"
         print(
             f"\n{summary['jobs']} jobs in {wall:.2f}s "
             f"({summary['jobs_per_second']:.2f} jobs/s, --jobs {args.jobs}): "
             f"{summary['ok']} ok, {summary['errors']} errors, "
             f"{summary['timeouts']} timeouts, "
             f"{summary['cache_hits']} cache hits / {summary['cache_misses']} misses"
+            + tail
         )
         if args.manifest:
             print(f"manifest written to {args.manifest}")
+        if journal:
+            print(f"journal written to {journal}")
         if args.events_out:
             print(f"{len(events_log.records)} events written to {args.events_out}")
     return 0 if summary["ok"] == summary["jobs"] else 1
@@ -764,6 +840,45 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.runtime import JobJournal
+
+    try:
+        records = JobJournal.read(args.journal)
+    except OSError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    state = JobJournal.replay(args.journal)
+    if args.json:
+        print(json.dumps(state, indent=2, sort_keys=True))
+        return 0
+    counts: dict[str, int] = {}
+    for job_id, entry in state.items():
+        counts[entry["state"]] = counts.get(entry["state"], 0) + 1
+        line = (
+            f"{job_id[:12]} {entry.get('case', '?'):>6} "
+            f"{entry.get('label', entry.get('planner', '?')):<12} "
+            f"{entry['state']:<11} attempts={entry['attempts']}"
+        )
+        if entry.get("error"):
+            line += f" error={entry['error']!r}"
+        print(line)
+        if args.ops:
+            for record in records:
+                if record.get("job_id") != job_id:
+                    continue
+                detail = {
+                    k: v
+                    for k, v in record.items()
+                    if k not in ("record", "v", "job_id", "op", "ts")
+                }
+                print(f"    {record.get('op', '?'):<14} {detail if detail else ''}")
+    total = len(state)
+    summary = ", ".join(f"{count} {name}" for name, count in sorted(counts.items()))
+    print(f"\n{total} jobs ({summary or 'none'}) in {args.journal}")
+    return 0 if counts.get("pending", 0) == 0 else 1
+
+
 def _print_comparison(comparison, as_json: bool, reference: str = "e-blow") -> None:
     if as_json:
         print(json.dumps(comparison.to_dict(), indent=2, default=str))
@@ -795,6 +910,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "table3":
         _print_comparison(run_table3(args.cases, args.scale, jobs=args.jobs), args.json)
         return 0

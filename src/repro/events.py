@@ -56,6 +56,10 @@ __all__ = [
 #: ``span``        a timed trace span closed — ``name``, ``span_id``,
 #:                 ``parent_id``, ``seconds``, ``pid`` (see
 #:                 :mod:`repro.obs.tracing`)
+#: ``heartbeat``   liveness beacon of a leased pool job — ``job_id``,
+#:                 ``label``, ``worker_pid`` (emitted by the worker's
+#:                 heartbeat thread, consumed by the supervisor's lease
+#:                 table; see :mod:`repro.runtime.supervision`)
 #: ``finished``    the run ended — ``status``, ``writing_time``
 #: ==============  ============================================================
 EVENT_TYPES = (
@@ -68,6 +72,7 @@ EVENT_TYPES = (
     "incumbent",
     "rebase",
     "span",
+    "heartbeat",
     "finished",
 )
 

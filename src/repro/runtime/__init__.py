@@ -14,13 +14,21 @@ This package turns the single-shot planners into a batch-serving engine:
   (:func:`grid_jobs` / :func:`run_jobs` / :func:`iter_jobs`),
 * :mod:`repro.runtime.portfolio` — racing several planner configs on one
   instance and keeping the best plan,
-* :mod:`repro.runtime.store`     — on-disk content-addressed result cache,
-* :mod:`repro.runtime.telemetry` — JSONL run manifests.
+* :mod:`repro.runtime.store`     — on-disk content-addressed result cache
+  with per-entry integrity digests and corrupt-entry quarantine,
+* :mod:`repro.runtime.telemetry` — JSONL run manifests,
+* :mod:`repro.runtime.supervision` — lease-based fault tolerance: a JSONL
+  write-ahead job journal, heartbeat-driven worker supervision with
+  re-queue/backoff/quarantine, and crash-resumable batches,
+* :mod:`repro.runtime.faults`    — the deterministic fault-injection harness
+  the chaos tests drive (kill/stall/delay/raise/corrupt).
 """
 
 from repro.runtime.arena import ArenaRef, InstanceArena, instance_digest
 from repro.runtime.engine import grid_jobs, iter_jobs, run_jobs
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
 from repro.runtime.jobs import (
+    JobCancelledError,
     JobDescriptor,
     JobResult,
     JobTimeoutError,
@@ -40,6 +48,13 @@ from repro.runtime.pool import (
 )
 from repro.runtime.portfolio import PortfolioOutcome, portfolio_jobs, run_portfolio
 from repro.runtime.store import ResultStore, code_version, default_cache_dir
+from repro.runtime.supervision import (
+    JobJournal,
+    JobLease,
+    SupervisorConfig,
+    iter_supervised,
+    run_supervised,
+)
 from repro.runtime.telemetry import Telemetry, read_manifest, summarize_manifest
 
 __all__ = [
@@ -48,6 +63,7 @@ __all__ = [
     "JobDescriptor",
     "JobResult",
     "JobTimeoutError",
+    "JobCancelledError",
     "execute_job",
     "register_planner",
     "resolve_planner",
@@ -72,4 +88,12 @@ __all__ = [
     "Telemetry",
     "read_manifest",
     "summarize_manifest",
+    "JobJournal",
+    "JobLease",
+    "SupervisorConfig",
+    "iter_supervised",
+    "run_supervised",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
 ]

@@ -65,6 +65,11 @@ def iter_jobs(
     on_event: Callable[[PlanEvent], None] | None = None,
     pool: PlannerPool | None = None,
     chunksize: int | None = None,
+    supervise: bool = False,
+    supervisor: "SupervisorConfig | None" = None,
+    journal=None,
+    resume: bool = False,
+    max_attempts: int | None = None,
 ) -> Iterator[JobResult]:
     """Stream results for ``jobs`` in submission order.
 
@@ -85,8 +90,38 @@ def iter_jobs(
     planners emit, label-stamped; with worker processes the stream crosses
     over an :class:`~repro.runtime.pool.EventRelay` and interleaves across
     jobs in arrival order.
+
+    Fault tolerance: any of ``supervise`` / ``supervisor`` / ``journal`` /
+    ``resume`` / ``max_attempts`` routes the batch through
+    :func:`repro.runtime.supervision.iter_supervised` — durable job leases
+    journaled next to the telemetry manifest, heartbeat supervision with
+    automatic re-queue on worker death or lease expiry, poison-job
+    quarantine after ``max_attempts``, and (given a journal) crash
+    resumability.  ``retries`` / ``chunksize`` are pool-path knobs and are
+    ignored under supervision (supervision retries via its own
+    backoff/attempt machinery, one job per dispatch).
     """
     jobs = list(jobs)
+    if supervise or supervisor is not None or journal is not None or resume or max_attempts is not None:
+        from repro.runtime.supervision import SupervisorConfig, iter_supervised
+
+        config = supervisor or SupervisorConfig()
+        if max_attempts is not None and max_attempts != config.max_attempts:
+            config = SupervisorConfig(
+                **{**config.__dict__, "max_attempts": int(max_attempts)}
+            )
+        yield from iter_supervised(
+            jobs,
+            max_workers=max_workers,
+            config=config,
+            store=store,
+            telemetry=telemetry,
+            journal=journal,
+            resume=resume,
+            on_event=on_event,
+            pool=pool,
+        )
+        return
     hits: dict[int, JobResult] = {}
     misses: list[tuple[int, PlanJob]] = []
     # The probe phase shows up as its own span so a mostly-cached batch
@@ -143,8 +178,13 @@ def run_jobs(
     on_event: Callable[[PlanEvent], None] | None = None,
     pool: PlannerPool | None = None,
     chunksize: int | None = None,
+    supervise: bool = False,
+    supervisor: "SupervisorConfig | None" = None,
+    journal=None,
+    resume: bool = False,
+    max_attempts: int | None = None,
 ) -> list[JobResult]:
-    """Run all jobs and return results in submission order."""
+    """Run all jobs and return results in submission order (see iter_jobs)."""
     return list(
         iter_jobs(
             jobs,
@@ -155,5 +195,10 @@ def run_jobs(
             on_event=on_event,
             pool=pool,
             chunksize=chunksize,
+            supervise=supervise,
+            supervisor=supervisor,
+            journal=journal,
+            resume=resume,
+            max_attempts=max_attempts,
         )
     )

@@ -1,0 +1,323 @@
+"""Deterministic fault injection for the batch runtime.
+
+The chaos tests (and the CI fault smoke) need to *deliberately* break a
+worker: kill it mid-job, stall its heartbeats, delay or fail a planner run,
+corrupt a result-store write.  This module is the single switchboard those
+tests flip — production code calls the tiny hook functions below at its
+injection points, and every hook is a no-op (one module-global load) unless a
+:class:`FaultPlan` is armed.
+
+A plan is armed either programmatically (:func:`install` / :func:`injecting`)
+or through the environment (``REPRO_FAULTS`` = the plan's JSON encoding,
+``REPRO_FAULTS_DIR`` = the scratch directory for cross-process once-tokens),
+which is how a plan reaches pool workers under every start method and how the
+CI smoke arms one around a whole CLI invocation.
+
+Fault matrix (see ``docs/ROBUSTNESS.md``):
+
+==================  ========================  =================================
+kind                injection point           effect
+==================  ========================  =================================
+``kill_worker``     ``execute_job`` (worker)  ``SIGKILL`` the worker process
+                                              mid-job (never fires inline)
+``stall_heartbeat``/``execute_job`` start     the attempt's heartbeat thread
+                                              stops reporting (worker lives on)
+``delay``           ``execute_job``           sleep ``seconds`` before planning
+``raise``           ``execute_job``           raise :class:`InjectedFaultError`
+                                              (a poison job)
+``corrupt_store``   ``ResultStore.put``       the written payload is mangled
+==================  ========================  =================================
+
+``once=True`` makes a spec fire at most once *across processes*: firing claims
+a token file (``O_CREAT | O_EXCL``) in the plan's scratch directory, so a
+killed-and-requeued job is not killed again on its retry — exactly the
+recover-and-complete scenario the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFaultError",
+    "install",
+    "installed",
+    "clear",
+    "injecting",
+    "active_plan",
+    "plan_from_env",
+    "mark_worker_process",
+]
+
+FAULT_KINDS = ("kill_worker", "stall_heartbeat", "delay", "raise", "corrupt_store")
+
+ENV_PLAN = "REPRO_FAULTS"
+ENV_SCRATCH = "REPRO_FAULTS_DIR"
+
+_FAULTS_FIRED = obs_metrics.declare_counter(
+    "faults_injected_total", "Faults fired by the injection harness", ("kind",)
+)
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised inside ``execute_job`` by a ``raise``-kind fault (a poison job)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to break, where, and how often.
+
+    ``match`` is a substring tested against the job's case name, label,
+    planner name, and job id — ``None`` matches every job.  ``seconds``
+    parameterises ``delay`` (sleep length) and ``kill_worker`` (delay before
+    the kill, so the job is genuinely mid-flight).  ``once`` bounds the spec
+    to a single firing across all processes via a scratch-dir token;
+    ``token`` names that token (auto-derived when omitted).
+    """
+
+    kind: str
+    match: str | None = None
+    seconds: float = 0.0
+    once: bool = False
+    token: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})")
+
+    def matches(self, job) -> bool:
+        if self.match is None:
+            return True
+        hay = (job.case_name, job.display_label, job.spec.planner, job.job_id)
+        return any(self.match in part for part in hay)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "match": self.match,
+            "seconds": self.seconds,
+            "once": self.once,
+            "token": self.token,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            match=data.get("match"),
+            seconds=float(data.get("seconds", 0.0)),
+            once=bool(data.get("once", False)),
+            token=data.get("token"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An armed set of :class:`FaultSpec` plus the once-token scratch dir."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    scratch: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if any(spec.once for spec in self.specs) and self.scratch is None:
+            raise ValueError(
+                "FaultPlan with once=True specs needs scratch= (a directory "
+                "for the cross-process once-tokens)"
+            )
+
+    def to_env(self) -> dict[str, str]:
+        """Environment variables that arm this plan in child processes."""
+        env = {ENV_PLAN: json.dumps([spec.to_dict() for spec in self.specs])}
+        if self.scratch is not None:
+            env[ENV_SCRATCH] = str(self.scratch)
+        return env
+
+    # ------------------------------------------------------------------ #
+    # Firing
+    # ------------------------------------------------------------------ #
+    def _claim(self, spec: FaultSpec, index: int) -> bool:
+        """Whether ``spec`` may fire now (claims its once-token if needed)."""
+        if not spec.once:
+            return True
+        token = spec.token or f"fault-{index}-{spec.kind}"
+        path = Path(self.scratch) / f"{token}.fired"
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # unwritable scratch: fail safe (never fire)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()} {time.time()}\n")
+        return True
+
+    def fire_for_job(self, job) -> bool:
+        """Apply every armed job-point fault for ``job``.
+
+        Returns whether this attempt's heartbeats should be stalled; may
+        sleep, raise :class:`InjectedFaultError`, or ``SIGKILL`` the current
+        process (``kill_worker`` only ever fires inside a pool worker — see
+        :func:`mark_worker_process` — so an inline run cannot kill the
+        caller).
+        """
+        stall = False
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(job):
+                continue
+            if spec.kind == "stall_heartbeat":
+                if self._claim(spec, index):
+                    _FAULTS_FIRED.inc(kind=spec.kind)
+                    stall = True
+                    # Take effect immediately: a later ``delay`` spec wedges
+                    # the job inside this very call, and the wedged stretch
+                    # is exactly when the heartbeats must already be silent.
+                    _STALLED_JOBS.add(job.job_id)
+            elif spec.kind == "delay":
+                if self._claim(spec, index):
+                    _FAULTS_FIRED.inc(kind=spec.kind)
+                    time.sleep(spec.seconds)
+            elif spec.kind == "raise":
+                if self._claim(spec, index):
+                    _FAULTS_FIRED.inc(kind=spec.kind)
+                    raise InjectedFaultError(
+                        f"injected fault for job {job.job_id} ({job.display_label})"
+                    )
+            elif spec.kind == "kill_worker":
+                if _IN_WORKER and self._claim(spec, index):
+                    _FAULTS_FIRED.inc(kind=spec.kind)
+                    if spec.seconds > 0:
+                        time.sleep(spec.seconds)
+                    os.kill(os.getpid(), signal.SIGKILL)
+        return stall
+
+    def corrupt_store_payload(self, job, payload: str) -> str | None:
+        """The mangled payload a ``corrupt_store`` fault writes, or ``None``."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "corrupt_store" or not spec.matches(job):
+                continue
+            if self._claim(spec, index):
+                _FAULTS_FIRED.inc(kind=spec.kind)
+                # Keep it valid JSON-length-ish but digest-breaking: truncate
+                # the tail and append garbage, so both the JSON parser and
+                # the integrity digest have something to catch.
+                keep = max(0, len(payload) - 16)
+                return payload[:keep] + 'X"corrupted'
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Arming
+# --------------------------------------------------------------------------- #
+
+_INSTALLED: FaultPlan | None = None
+
+#: Whether this process is a pool worker (set by the worker initializer);
+#: ``kill_worker`` faults refuse to fire anywhere else.
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Tag this process as a pool worker (enables ``kill_worker`` faults)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide (fork-started workers inherit it)."""
+    global _INSTALLED
+    _INSTALLED = plan
+    return plan
+
+
+def installed() -> FaultPlan | None:
+    return _INSTALLED
+
+
+def clear() -> None:
+    global _INSTALLED
+    _INSTALLED = None
+
+
+@contextmanager
+def injecting(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of the block (restores the previous one)."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = plan
+    try:
+        yield plan
+    finally:
+        _INSTALLED = previous
+
+
+def plan_from_env(environ: Mapping[str, str] | None = None) -> FaultPlan | None:
+    """The :class:`FaultPlan` encoded in ``REPRO_FAULTS``, or ``None``.
+
+    A malformed encoding raises — silently ignoring a chaos plan would turn
+    a fault-injection test into a false pass.
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get(ENV_PLAN, "").strip()
+    if not raw:
+        return None
+    specs = [FaultSpec.from_dict(item) for item in json.loads(raw)]
+    scratch = environ.get(ENV_SCRATCH, "").strip() or None
+    return FaultPlan(specs=tuple(specs), scratch=scratch)
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan: :func:`install`'d first, else from the environment."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return plan_from_env()
+
+
+# --------------------------------------------------------------------------- #
+# Hooks (called from production code; no-ops without an armed plan)
+# --------------------------------------------------------------------------- #
+
+#: Job ids whose *current* attempt runs with stalled heartbeats (set at the
+#: job hook, read by the worker's heartbeat thread, cleared when the attempt
+#: ends).  Per-process by construction.
+_STALLED_JOBS: set[str] = set()
+
+
+def on_job_start(job) -> None:
+    """``execute_job`` hook: fire job-point faults for this attempt."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fire_for_job(job):
+        _STALLED_JOBS.add(job.job_id)
+
+
+def on_job_end(job) -> None:
+    """``execute_job`` hook: drop this attempt's heartbeat stall, if any."""
+    _STALLED_JOBS.discard(job.job_id)
+
+
+def heartbeat_stalled(job_id: str) -> bool:
+    """Whether the running attempt of ``job_id`` must suppress heartbeats."""
+    return job_id in _STALLED_JOBS
+
+
+def on_store_put(job, payload: str) -> str:
+    """``ResultStore.put`` hook: the payload to write (possibly corrupted)."""
+    plan = active_plan()
+    if plan is None:
+        return payload
+    corrupted = plan.corrupt_store_payload(job, payload)
+    return payload if corrupted is None else corrupted

@@ -48,6 +48,7 @@ from repro.io.serialization import canonical_json
 from repro.model import OSPInstance, StencilPlan
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import span
+from repro.runtime import faults
 from repro.runtime.arena import ArenaRef, InstanceArena, attached_instance
 
 __all__ = [
@@ -56,7 +57,10 @@ __all__ = [
     "JobDescriptor",
     "JobResult",
     "JobTimeoutError",
+    "JobCancelledError",
     "execute_job",
+    "request_cancel",
+    "cancel_pending",
     "summarize_instance",
     "register_planner",
     "resolve_planner",
@@ -66,6 +70,37 @@ __all__ = [
 
 class JobTimeoutError(Exception):
     """Raised inside a worker when a job exceeds its wall-clock timeout."""
+
+
+class JobCancelledError(Exception):
+    """Raised inside a worker when the supervisor soft-cancels its job."""
+
+
+# Cooperative-cancellation state of *this* process (a pool worker, usually).
+# ``job`` is the job currently inside :func:`execute_job`; ``term_ok`` is set
+# once a cancel was requested and means a follow-up ``SIGTERM`` may take the
+# process down even though it is not orphaned (see ``pool._worker_init``).
+_CANCEL = {"job": None, "term_ok": False}
+
+
+def request_cancel(signum=None, frame=None):
+    """Soft-cancel the running job (the pool workers' ``SIGUSR1`` handler).
+
+    If a job is executing, raises :class:`JobCancelledError` *in it* — the
+    job resolves as ``status="cancelled"`` and the worker stays alive and
+    reusable.  Outside a job it only records that cancellation was requested
+    (``cancel_pending``), which arms the escalation path: a worker that never
+    reaches Python signal delivery (wedged in a native solve) will be taken
+    down by the supervisor's follow-up ``SIGTERM``/``SIGKILL``.
+    """
+    _CANCEL["term_ok"] = True
+    if _CANCEL["job"] is not None:
+        raise JobCancelledError("job cancelled by supervisor request")
+
+
+def cancel_pending() -> bool:
+    """Whether a cancel was requested and not yet absorbed by a job."""
+    return bool(_CANCEL["term_ok"])
 
 
 # --------------------------------------------------------------------------- #
@@ -270,7 +305,7 @@ class JobResult:
     case: str
     label: str
     planner: str
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # "ok" | "error" | "timeout" | "cancelled" | "quarantined"
     writing_time: float = 0.0
     num_selected: int = 0
     runtime_seconds: float = 0.0
@@ -452,6 +487,8 @@ def execute_job(job: PlanJob, on_event=None) -> JobResult:
         job_id=job.job_id,
     ):
         try:
+            _CANCEL["job"] = job
+            faults.on_job_start(job)
             instance = job.resolve_instance()
             result.instance_summary = summarize_instance(instance)
             planner = job.spec.build(instance.kind)
@@ -467,9 +504,18 @@ def execute_job(job: PlanJob, on_event=None) -> JobResult:
         except JobTimeoutError as exc:
             result.status = "timeout"
             result.error = str(exc)
+        except JobCancelledError as exc:
+            # Cooperative cancel succeeded: the worker is healthy again, so a
+            # follow-up SIGTERM must revert to orphan-only semantics.
+            _CANCEL["term_ok"] = False
+            result.status = "cancelled"
+            result.error = str(exc)
         except Exception as exc:  # noqa: BLE001 — report, don't kill the batch
             result.status = "error"
             result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            _CANCEL["job"] = None
+            faults.on_job_end(job)
     result.wall_seconds = time.perf_counter() - start
     _PLANS.inc(planner=result.planner, status=result.status)
     _PLAN_SECONDS.observe(result.wall_seconds, planner=result.planner)

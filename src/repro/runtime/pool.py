@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
 import threading
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -48,6 +49,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.events import PlanEvent
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import span
+from repro.runtime import faults
 from repro.runtime.arena import InstanceArena
 from repro.runtime.jobs import JobDescriptor, JobResult, PlanJob, execute_job
 
@@ -56,6 +58,10 @@ __all__ = ["PlannerPool", "EventRelay", "default_workers", "shared_pool", "close
 # Extra seconds the parent waits beyond a job's own timeout before declaring
 # it lost; the in-worker alarm should always fire first.
 _WAIT_GRACE = 10.0
+
+# Default grace window between the rungs of escalating cancellation
+# (soft cancel → SIGTERM → SIGKILL); see PlannerPool.cancel_running.
+_CANCEL_GRACE = 0.5
 
 # Target number of chunks per worker when no explicit chunksize is given:
 # large enough to amortise IPC, small enough to keep ordered streaming and
@@ -103,6 +109,10 @@ _POOL_JOB_SECONDS = obs_metrics.declare_histogram(
 _ARENA_SEGMENTS = obs_metrics.declare_gauge(
     "arena_segments", "Live shared-memory segments in the instance arena"
 )
+_POOL_BREAKS = obs_metrics.declare_counter(
+    "pool_breaks_total",
+    "Executor breakages (a worker process died with jobs in flight)",
+)
 
 
 def labelled_event(
@@ -135,8 +145,48 @@ def labelled_event(
 
 
 def _execute_descriptor(
-    desc: JobDescriptor, event_queue=None, event_types=None, collect_metrics=False
+    desc: JobDescriptor,
+    event_queue=None,
+    event_types=None,
+    collect_metrics=False,
+    heartbeat=None,
 ) -> JobResult:
+    if heartbeat is not None and event_queue is not None:
+        # Liveness beacon for the supervisor's lease table: a daemon thread
+        # puts a ``heartbeat`` event straight onto the relay queue every
+        # ``heartbeat`` seconds (first beat immediately, so the lease arms as
+        # soon as the job is picked up).  It bypasses the ``event_types``
+        # filter — the filter tunes the *planner* stream, while heartbeats
+        # are the supervision control channel.  NOTE: the beat only proves
+        # the process is scheduling Python threads; a worker wedged in a
+        # native call that releases the GIL still beats (which is correct —
+        # it is alive), one that holds the GIL stops beating and its lease
+        # expires, which is exactly the wedged-worker signal.
+        stop = threading.Event()
+        pid = os.getpid()
+
+        def _beat() -> None:
+            payload = {
+                "job_id": desc.job_id,
+                "label": desc.label or desc.spec.planner,
+                "worker_pid": pid,
+            }
+            while True:
+                try:
+                    if not faults.heartbeat_stalled(desc.job_id):
+                        event_queue.put(PlanEvent(type="heartbeat", payload=payload).to_dict())
+                except Exception:  # noqa: BLE001 — dead parent/manager: stop beating
+                    return
+                if stop.wait(heartbeat):
+                    return
+
+        beater = threading.Thread(target=_beat, name="job-heartbeat", daemon=True)
+        beater.start()
+        try:
+            return _execute_descriptor(desc, event_queue, event_types, collect_metrics)
+        finally:
+            stop.set()
+            beater.join(timeout=1.0)
     if collect_metrics:
         # Worker-side half of the cross-process metrics pipeline: run the
         # whole execution (descriptor rebuild and arena attach included)
@@ -214,10 +264,12 @@ def _worker_init() -> None:
     from repro.events import _STATE
     from repro.obs import metrics as obs_metrics
     from repro.obs.tracing import _STACK
+    from repro.runtime import jobs as jobs_module
 
     _STATE.scopes.clear()
     _STACK.ids.clear()
     obs_metrics.uninstall()
+    faults.mark_worker_process()
     try:
         import ctypes
         import signal as _signal
@@ -225,10 +277,17 @@ def _worker_init() -> None:
         parent = os.getppid()
 
         def _exit_if_orphaned(signum, frame):
-            if os.getppid() != parent:
+            # SIGTERM exits the worker in exactly two situations: it was
+            # reparented (the owner is gone), or a soft cancel (SIGUSR1, see
+            # jobs.request_cancel) was requested and never absorbed by a job
+            # — the second rung of escalating cancellation for a worker
+            # wedged outside Python signal delivery that has just returned
+            # to it.  A healthy worker ignores stray SIGTERMs.
+            if os.getppid() != parent or jobs_module.cancel_pending():
                 os._exit(0)
 
         _signal.signal(_signal.SIGTERM, _exit_if_orphaned)
+        _signal.signal(_signal.SIGUSR1, jobs_module.request_cancel)
         libc = ctypes.CDLL(None, use_errno=True)
         PR_SET_PDEATHSIG = 1
         libc.prctl(PR_SET_PDEATHSIG, _signal.SIGTERM)
@@ -237,10 +296,14 @@ def _worker_init() -> None:
 
 
 def _pool_worker(
-    desc: JobDescriptor, event_queue=None, event_types=None, collect_metrics=False
+    desc: JobDescriptor,
+    event_queue=None,
+    event_types=None,
+    collect_metrics=False,
+    heartbeat=None,
 ) -> JobResult:
     # Module-level so it pickles under every multiprocessing start method.
-    return _execute_descriptor(desc, event_queue, event_types, collect_metrics)
+    return _execute_descriptor(desc, event_queue, event_types, collect_metrics, heartbeat)
 
 
 def _pool_worker_chunk(
@@ -329,11 +392,18 @@ class PlannerPool:
     """
 
     def __init__(
-        self, max_workers: int = 1, retries: int = 0, chunksize: int | None = None
+        self,
+        max_workers: int = 1,
+        retries: int = 0,
+        chunksize: int | None = None,
+        cancel_grace: float = _CANCEL_GRACE,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.retries = max(0, int(retries))
         self.chunksize = chunksize if chunksize is None else max(1, int(chunksize))
+        self.cancel_grace = max(0.0, float(cancel_grace))
+        #: Executor breakages seen over this pool's lifetime (worker deaths).
+        self.break_count = 0
         self._executor: ProcessPoolExecutor | None = None
         self._arena: InstanceArena | None = None
         # Set when a worker blew through its grace wait: its SIGALRM was
@@ -371,11 +441,94 @@ class PlannerPool:
         """
         self._stuck_worker = True
 
+    def reset_broken(self) -> None:
+        """Tear down a broken executor; the next dispatch respawns a fresh one.
+
+        Accounts the breakage (``pool_breaks_total`` / :attr:`break_count`) so
+        supervision can track pool health across resets.
+        """
+        self.break_count += 1
+        _POOL_BREAKS.inc()
+        self.shutdown(wait=False)
+
+    def cancel_running(self) -> int:
+        """Soft-cancel whatever the workers are running (``SIGUSR1``).
+
+        A worker executing Python raises :class:`~repro.runtime.jobs.JobCancelledError`
+        in its job, resolves the future as ``status="cancelled"``, and stays
+        alive and reusable — the pool remains healthy, which is why this is
+        safe on caller-owned warm pools (portfolio straggler cancellation).
+        A worker wedged in native code ignores the signal; escalation to
+        SIGTERM/SIGKILL is the supervisor's (or shutdown's) job, not this
+        method's.  Returns the number of workers signalled.
+        """
+        executor = self._executor
+        if executor is None:
+            return 0
+        processes = getattr(executor, "_processes", None) or {}
+        signalled = 0
+        for process in list(processes.values()):
+            if not process.is_alive():
+                continue
+            try:
+                os.kill(process.pid, signal.SIGUSR1)
+                signalled += 1
+            except Exception:  # noqa: BLE001 — racing a worker exit
+                pass
+        return signalled
+
+    def _escalate_stop(self, executor: ProcessPoolExecutor) -> None:
+        """Escalating teardown of abandoned workers: cancel → TERM → KILL.
+
+        Each rung gets a ``cancel_grace`` window: a worker that merely sits
+        in cancellable Python (a long pure-Python loop) absorbs the soft
+        cancel, resolves its future, and exits via the executor's sentinel;
+        one that reaches signal delivery later dies on the SIGTERM it has
+        armed (see ``_worker_init``); only a worker wedged in native code
+        for both windows eats the SIGKILL — the old behaviour, now last
+        resort instead of first.
+        """
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        if not processes:
+            return
+        self.cancel_running()
+        executor.shutdown(wait=False, cancel_futures=True)
+        if self._await_exit(processes, self.cancel_grace):
+            return
+        for process in processes:
+            if process.is_alive():
+                try:
+                    process.terminate()
+                except Exception:  # noqa: BLE001
+                    pass
+        if self._await_exit(processes, self.cancel_grace):
+            return
+        for process in processes:
+            if process.is_alive():
+                try:
+                    process.kill()
+                except Exception:  # noqa: BLE001
+                    pass
+
+    @staticmethod
+    def _await_exit(processes, grace: float) -> bool:
+        """Poll-wait up to ``grace`` seconds for every process to exit."""
+        import time as _time
+
+        deadline = _time.monotonic() + max(0.0, grace)
+        while _time.monotonic() < deadline:
+            if not any(process.is_alive() for process in processes):
+                return True
+            _time.sleep(0.02)
+        return not any(process.is_alive() for process in processes)
+
     def shutdown(self, wait: bool = True) -> None:
         """Cancel queued jobs, join the workers, unlink the arena (idempotent).
 
         If a worker is known to be stuck in native code past its timeout,
-        it is terminated instead of joined, so shutdown stays bounded.
+        teardown escalates (soft cancel → SIGTERM → SIGKILL, each with a
+        grace window) instead of joining, so shutdown stays bounded without
+        reaching straight for SIGKILL.
         """
         if self._executor is not None:
             executor, self._executor = self._executor, None
@@ -383,16 +536,7 @@ class PlannerPool:
                 self._stuck_worker = False
                 # _processes is a CPython implementation detail; if it moves,
                 # degrade to a plain (possibly slow) shutdown, never crash.
-                workers = getattr(executor, "_processes", None) or {}
-                for process in list(workers.values()):
-                    try:
-                        # SIGKILL, not SIGTERM: the worker installs a SIGTERM
-                        # handler (see _worker_init), and a handler cannot run
-                        # while the worker sits in a native solver call — the
-                        # exact situation this path exists for.
-                        process.kill()
-                    except Exception:  # noqa: BLE001 — already exiting
-                        pass
+                self._escalate_stop(executor)
             executor.shutdown(wait=wait, cancel_futures=True)
         # Unlink after the workers are gone (their mappings stay valid
         # regardless — POSIX keeps unlinked segments alive while mapped).
@@ -514,18 +658,24 @@ class PlannerPool:
             _ARENA_SEGMENTS.set(len(self._arena) if self._arena is not None else 0)
 
     def submit(
-        self, jobs: Sequence[PlanJob], event_queue=None, event_types=None
+        self, jobs: Sequence[PlanJob], event_queue=None, event_types=None, heartbeat=None
     ) -> list[Future]:
-        """Low-level: submit jobs one future each (portfolio racing).
+        """Low-level: submit jobs one future each (portfolio racing, leases).
 
         ``event_types`` (a tuple of :data:`~repro.events.EVENT_TYPES` names)
         restricts which events the workers relay — pass it when the consumer
         only reads a subset, to keep IPC off the planner hot paths.
+
+        ``heartbeat`` (seconds) makes each worker emit periodic ``heartbeat``
+        events for its running job onto ``event_queue`` — the supervisor's
+        lease liveness channel.  Heartbeats bypass the ``event_types`` filter.
         """
         executor = self._ensure_executor()
         collect_metrics = obs_metrics.installed() is not None
         futures = [
-            executor.submit(_pool_worker, desc, event_queue, event_types, collect_metrics)
+            executor.submit(
+                _pool_worker, desc, event_queue, event_types, collect_metrics, heartbeat
+            )
             for desc in self.describe(list(jobs))
         ]
         _POOL_DISPATCHES.inc(len(futures))
@@ -553,6 +703,10 @@ class PlannerPool:
             attempts += 1
             result = execute_job(job, on_event=sink)
             result.attempts = attempts
+            if attempts > 1:
+                # Only re-dispatched jobs carry the attempt count in extra:
+                # a clean first attempt stays byte-identical to a serial run.
+                result.extra["attempt"] = attempts
             self._note(result, "inline")
             if result.ok or attempts > self.retries:
                 return result
@@ -598,7 +752,7 @@ class PlannerPool:
             result = self._failed(job, "error", "job was cancelled before it ran")
         except BrokenProcessPool as exc:
             # The pool is unusable: drop it so a retry gets a fresh one.
-            self.shutdown(wait=False)
+            self.reset_broken()
             result = self._failed(job, "error", f"worker pool broke: {exc}")
         except Exception as exc:  # noqa: BLE001 — unexpected submission failure
             result = self._failed(job, "error", f"{type(exc).__name__}: {exc}")
@@ -631,7 +785,7 @@ class PlannerPool:
                 for job in jobs
             ]
         except BrokenProcessPool as exc:
-            self.shutdown(wait=False)
+            self.reset_broken()
             return [
                 self._failed(job, "error", f"worker pool broke: {exc}") for job in jobs
             ]
@@ -668,6 +822,13 @@ class PlannerPool:
                     _POOL_DISPATCHES.inc()
                     result = self.collect(jobs[index], retry)
                     result.attempts = attempts
+                # Retry accounting rides on the result itself: the attempt
+                # count lands in telemetry records and, for re-dispatched
+                # jobs only, in extra (and thus the store payload) keyed by
+                # the *unchanged* job_id — a clean first attempt stays
+                # byte-identical to a serial run.
+                if result.attempts > 1:
+                    result.extra["attempt"] = result.attempts
                 results[index] = result
             return results
 

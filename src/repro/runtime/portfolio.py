@@ -185,6 +185,8 @@ def run_portfolio(
     store: ResultStore | None = None,
     telemetry: Telemetry | None = None,
     pool: PlannerPool | None = None,
+    journal=None,
+    resume: bool = False,
 ) -> PortfolioOutcome:
     """Race the ``entries`` on one instance and return the best plan.
 
@@ -199,12 +201,31 @@ def run_portfolio(
     afterwards; ``max_workers`` is ignored) — races over the same instance
     then skip instance shipping entirely thanks to the pool's arena and the
     workers' digest caches.  Cancelled stragglers on a caller-owned pool
-    are *not* terminated (the pool outlives the race); they run on to their
-    per-job timeout, so pass ``timeout=`` or ``budget=`` when reusing a
-    pool or a hung entrant will occupy one of its workers indefinitely.
+    are *soft-cancelled* in place (``SIGUSR1`` → the job resolves as
+    ``cancelled`` and the worker stays warm, see
+    :meth:`PlannerPool.cancel_running`) — a wedged worker no longer leaks
+    past the race; pass ``timeout=`` or ``budget=`` as a further backstop
+    for entrants stuck in uncancellable native code.
+
+    ``journal`` (a path or :class:`~repro.runtime.supervision.JobJournal`)
+    records each entrant's lifecycle next to the telemetry manifest;
+    ``resume=True`` replays it so a crashed race re-runs only entrants that
+    never finished — finished ``ok`` entrants come back bit-identical from
+    the store, finished failures are reported without re-running.
     """
     if not entries:
         raise ValidationError("portfolio needs at least one planner entry")
+    from repro.runtime.supervision import JobJournal
+
+    if resume and journal is None:
+        raise ValidationError("resume=True needs journal= (the race's journal path)")
+    if isinstance(journal, JobJournal):
+        journal_obj: JobJournal | None = journal
+    elif journal is not None:
+        journal_obj = JobJournal(journal, resume=resume)
+    else:
+        journal_obj = None
+    prior = journal_obj.prior if (journal_obj is not None and resume) else {}
     # A budget without per-job timeouts would leave stragglers running
     # unattended in the workers; bound them by the budget itself.
     job_timeout = timeout if timeout is not None else budget
@@ -220,8 +241,38 @@ def run_portfolio(
         if cached is not None:
             outcome.results.append(cached)
             race.take(cached)
-        else:
-            pending_jobs.append(job)
+            if journal_obj is not None:
+                journal_obj.append(
+                    "done", job.job_id, status=cached.status, cache_hit=True
+                )
+            continue
+        info = prior.get(job.job_id)
+        if info and info.get("state") == "done" and info.get("status") != "ok":
+            # The previous run finished this entrant with a failure; resume
+            # reports it instead of re-racing it (only ok results are
+            # store-backed).
+            outcome.results.append(
+                JobResult(
+                    job_id=job.job_id,
+                    case=job.case_name,
+                    label=job.display_label,
+                    planner=job.spec.planner,
+                    status=str(info.get("status", "error")),
+                    error=info.get("error"),
+                    attempts=max(1, int(info.get("attempts", 1))),
+                    extra={"resumed": True},
+                )
+            )
+            continue
+        if journal_obj is not None:
+            journal_obj.append(
+                "queued",
+                job.job_id,
+                case=job.case_name,
+                label=job.display_label,
+                planner=job.spec.planner,
+            )
+        pending_jobs.append(job)
 
     if pending_jobs and race.target_reached:
         # A store-hit winner already meets the target: the race is over
@@ -247,13 +298,14 @@ def run_portfolio(
                     _run_serial(
                         pending_jobs, outcome, race, start,
                         budget=budget, straggler_grace=straggler_grace,
-                        on_event=on_event, store=store,
+                        on_event=on_event, store=store, journal=journal_obj,
                     )
                 else:
                     _run_race(
                         pool, pending_jobs, outcome, race, start,
                         budget=budget, straggler_grace=straggler_grace,
                         on_event=on_event, store=store, owns_pool=owns_pool,
+                        journal=journal_obj,
                     )
         finally:
             if owns_pool:
@@ -288,6 +340,7 @@ def _run_serial(
     straggler_grace: float | None,
     on_event,
     store: ResultStore | None,
+    journal=None,
 ) -> None:
     """Single worker: no true race — run in order, honouring the stops.
 
@@ -329,6 +382,8 @@ def _run_serial(
         outcome.results.append(result)
         if store is not None:
             store.put(job, result)
+        if journal is not None:
+            journal.append("done", job.job_id, status=result.status, error=result.error)
         race.take(result)
 
 
@@ -368,6 +423,7 @@ def _run_race(
     on_event,
     store: ResultStore | None,
     owns_pool: bool = True,
+    journal=None,
 ) -> None:
     """True race across worker processes."""
     relay: EventRelay | None = None
@@ -416,6 +472,10 @@ def _run_race(
                 outcome.results.append(result)
                 if store is not None:
                     store.put(job, result)
+                if journal is not None:
+                    journal.append(
+                        "done", job.job_id, status=result.status, error=result.error
+                    )
                 race.take(result)
                 if straggler_grace is not None and grace_deadline is None and race.winner_at is not None:
                     grace_deadline = race.winner_at + straggler_grace
@@ -450,14 +510,18 @@ def _run_race(
             outcome.cancelled.append(by_future[future].display_label)
         if remaining and owns_pool:
             # cancel() is a no-op on already-running entrants; have
-            # shutdown terminate them so the stop truly bounds the
-            # call instead of waiting out their per-job timeouts.  On a
-            # caller-owned warm pool that shutdown never happens — there
-            # the stragglers run on to their per-job timeouts (which is
-            # why ``job_timeout`` above folds in the budget), and latching
-            # the stuck flag would only make the caller's eventual clean
-            # shutdown needlessly SIGKILL healthy workers.
+            # shutdown terminate them (escalating: soft cancel → SIGTERM →
+            # SIGKILL) so the stop truly bounds the call instead of waiting
+            # out their per-job timeouts.
             pool.abandon_running()
+        elif remaining:
+            # Caller-owned warm pool: soft-cancel the running stragglers in
+            # place.  A cancellable entrant resolves as ``cancelled`` and
+            # frees its worker immediately (the worker — and the pool —
+            # stay warm and healthy); one wedged in native code ignores the
+            # signal and runs to its per-job timeout (which is why
+            # ``job_timeout`` above folds in the budget).
+            pool.cancel_running()
     finally:
         if relay is not None:
             relay.close()

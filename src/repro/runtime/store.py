@@ -16,6 +16,14 @@ Layout (one JSON file per result, written atomically)::
 
 The default root is ``~/.cache/eblow`` (or ``$REPRO_CACHE_DIR``).  Only
 ``status == "ok"`` results are persisted; errors and timeouts always re-run.
+
+Entries are written as an integrity envelope (``{"record": "result", "v": 1,
+"sha256": ..., "result": {...}}``): :meth:`ResultStore.get` recomputes the
+digest over the canonical-JSON result body and treats any mismatch — or an
+unparsable / wrong-shape file — as corruption, moving the entry to
+``<root>/quarantine/`` with a warning and reporting a miss, so a damaged
+cache can degrade a run's speed but never its plans.  Pre-envelope entries
+(bare result dicts) are still readable.
 """
 
 from __future__ import annotations
@@ -24,15 +32,17 @@ import hashlib
 import json
 import os
 import shutil
+import warnings
 from functools import lru_cache
 from pathlib import Path
 
 from repro import __version__
 from repro.io.serialization import canonical_json, write_text_atomic
 from repro.obs import metrics as obs_metrics
+from repro.runtime import faults
 from repro.runtime.jobs import JobResult, PlanJob
 
-__all__ = ["ResultStore", "default_cache_dir", "code_version"]
+__all__ = ["ResultStore", "default_cache_dir", "code_version", "STORE_SCHEMA_VERSION"]
 
 _STORE_REQUESTS = obs_metrics.declare_counter(
     "store_requests_total", "Result-store lookups by outcome", ("outcome",)
@@ -43,6 +53,12 @@ _STORE_PUTS = obs_metrics.declare_counter(
 _STORE_BYTES = obs_metrics.declare_counter(
     "store_bytes_total", "Bytes served from / written to the store", ("direction",)
 )
+_STORE_QUARANTINED = obs_metrics.declare_counter(
+    "store_quarantined_total", "Corrupt store entries moved to quarantine"
+)
+
+#: Envelope schema version of on-disk entries.
+STORE_SCHEMA_VERSION = 1
 
 
 @lru_cache(maxsize=1)
@@ -93,17 +109,42 @@ class ResultStore:
     # Read / write
     # ------------------------------------------------------------------ #
     def get(self, job: PlanJob) -> JobResult | None:
-        """The cached result for ``job``, marked ``cache_hit=True``, or None."""
+        """The cached result for ``job``, marked ``cache_hit=True``, or None.
+
+        A corrupt entry — unparsable JSON, wrong shape, or an integrity
+        digest that no longer matches the body — is quarantined (moved under
+        ``<root>/quarantine/`` with a warning) and reported as a miss, so
+        the job re-runs instead of receiving a damaged plan.
+        """
         path = self.path_for(job)
         try:
             text = path.read_text()
+        except OSError:
+            _STORE_REQUESTS.inc(outcome="miss")
+            return None
+        try:
             data = json.loads(text)
-        except (OSError, ValueError):
+            if not isinstance(data, dict):
+                raise ValueError("store entry is not a JSON object")
+            if isinstance(data.get("result"), dict):
+                body = data["result"]
+                expected = data.get("sha256")
+                if expected is not None:
+                    actual = hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+                    if actual != expected:
+                        raise ValueError(
+                            f"integrity digest mismatch (expected {expected[:12]}…, "
+                            f"got {actual[:12]}…)"
+                        )
+                data = body
+            # else: pre-envelope entry (bare result dict) — accepted as-is.
+            result = JobResult.from_dict(data)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, reason=f"{type(exc).__name__}: {exc}")
             _STORE_REQUESTS.inc(outcome="miss")
             return None
         _STORE_REQUESTS.inc(outcome="hit")
         _STORE_BYTES.inc(len(text), direction="read")
-        result = JobResult.from_dict(data)
         result.cache_hit = True
         # The stored record carries the label of whoever computed it; rebind
         # to the requesting job so comparison columns keyed on the label are
@@ -116,11 +157,39 @@ class ResultStore:
         """Persist an ``ok`` result (no-op for errors/timeouts/cache hits)."""
         if not result.ok or result.cache_hit:
             return None
-        payload = canonical_json(result.to_dict())
+        body = result.to_dict()
+        envelope = {
+            "record": "result",
+            "v": STORE_SCHEMA_VERSION,
+            "sha256": hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest(),
+            "result": body,
+        }
+        payload = faults.on_store_put(job, canonical_json(envelope))
         path = write_text_atomic(self.path_for(job), payload)
         _STORE_PUTS.inc()
         _STORE_BYTES.inc(len(payload), direction="written")
         return path
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry under ``<root>/quarantine/`` (best-effort)."""
+        try:
+            relative = path.relative_to(self.root)
+        except ValueError:
+            relative = Path(path.name)
+        destination = self.root / "quarantine" / relative
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            path.replace(destination)
+            moved = f"moved to {destination}"
+        except OSError:
+            moved = "could not be moved"
+        _STORE_QUARANTINED.inc()
+        warnings.warn(
+            f"corrupt result-store entry {path} ({reason}); {moved} — "
+            "treating as a miss, the job will re-run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # Maintenance

@@ -162,6 +162,8 @@ def summarize_manifest(records: Iterable[Mapping]) -> dict:
         "ok": statuses.get("ok", 0),
         "errors": statuses.get("error", 0),
         "timeouts": statuses.get("timeout", 0),
+        "cancelled": statuses.get("cancelled", 0),
+        "quarantined": statuses.get("quarantined", 0),
         "cache_hits": hits,
         "cache_misses": total - hits,
         "cache_hit_rate": (hits / total) if total else 0.0,

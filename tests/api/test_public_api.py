@@ -71,6 +71,7 @@ RUNTIME_EXPORTS = sorted(
         "JobDescriptor",
         "JobResult",
         "JobTimeoutError",
+        "JobCancelledError",
         "execute_job",
         "register_planner",
         "resolve_planner",
@@ -95,6 +96,14 @@ RUNTIME_EXPORTS = sorted(
         "Telemetry",
         "read_manifest",
         "summarize_manifest",
+        "JobJournal",
+        "JobLease",
+        "SupervisorConfig",
+        "iter_supervised",
+        "run_supervised",
+        "FaultPlan",
+        "FaultSpec",
+        "InjectedFaultError",
     ]
 )
 

@@ -1,5 +1,11 @@
-"""Result store: round trips, invalidation, stats, clearing."""
+"""Result store: round trips, invalidation, integrity, stats, clearing."""
 
+import hashlib
+import json
+
+import pytest
+
+from repro.io.serialization import canonical_json
 from repro.runtime import PlanJob, PlannerSpec, ResultStore, execute_job
 
 
@@ -44,7 +50,51 @@ class TestRoundTrip:
         job = _job()
         store.put(job, execute_job(job))
         store.path_for(job).write_text("{not json")
-        assert store.get(job) is None
+        with pytest.warns(RuntimeWarning, match="corrupt result-store entry"):
+            assert store.get(job) is None
+
+
+class TestIntegrity:
+    def test_entries_are_written_as_digest_envelopes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        store.put(job, execute_job(job))
+        data = json.loads(store.path_for(job).read_text())
+        assert data["record"] == "result"
+        assert data["v"] == 1
+        expected = hashlib.sha256(
+            canonical_json(data["result"]).encode("utf-8")
+        ).hexdigest()
+        assert data["sha256"] == expected
+
+    def test_digest_mismatch_quarantines_and_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        store.put(job, execute_job(job))
+        path = store.path_for(job)
+        data = json.loads(path.read_text())
+        data["result"]["writing_time"] = 1.0  # tamper with the plan body
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="integrity digest mismatch"):
+            assert store.get(job) is None
+        # The damaged entry moved aside; the slot is a plain miss now.
+        assert not path.exists()
+        quarantined = list((tmp_path / "quarantine").rglob("*.json"))
+        assert len(quarantined) == 1
+        assert store.get(job) is None  # no re-warning, genuinely gone
+
+    def test_pre_envelope_entries_are_still_readable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = _job()
+        result = execute_job(job)
+        store.put(job, result)
+        path = store.path_for(job)
+        body = json.loads(path.read_text())["result"]
+        path.write_text(canonical_json(body))  # legacy layout: bare dict
+        cached = store.get(job)
+        assert cached is not None
+        assert cached.cache_hit is True
+        assert cached.writing_time == result.writing_time
 
 
 class TestInvalidation:
