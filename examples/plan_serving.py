@@ -1,0 +1,73 @@
+"""Serving: host the planning daemon and watch identical requests coalesce.
+
+Starts a :class:`repro.serve.PlanServer` on a background thread (exactly
+what ``eblow serve`` runs as a process), then hits it with a burst of
+identical plan requests from concurrent clients.  The daemon keys every
+in-flight execution by its content-hash job id, so the burst collapses
+onto ONE pool execution — every client still receives the bit-identical
+result — and a resubmission after completion is answered straight from
+the on-disk result store.
+
+Run with::
+
+    python examples/plan_serving.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+CASE, SCALE = "1T-1", 0.2
+
+
+def main() -> None:
+    scratch = Path(tempfile.mkdtemp(prefix="eblow-serving-"))
+    config = ServeConfig(
+        socket=str(scratch / "serve.sock"),
+        workers=2,
+        cache_dir=str(scratch / "cache"),
+        metrics_out=str(scratch / "metrics.json"),
+    )
+    with start_in_thread(config) as handle:
+        print(f"daemon listening on {handle.address}")
+
+        # A burst of identical requests from 6 concurrent clients: the
+        # daemon coalesces them onto a single execution.
+        outcomes: list[str] = []
+        results = []
+
+        def submit() -> None:
+            with ServeClient(socket=handle.address) as client:
+                results.append(client.plan(CASE, scale=SCALE))
+                outcomes.append(client.last_outcome)
+
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        print(f"burst outcomes: {sorted(outcomes)}")
+        identical = all(r.to_dict() == results[0].to_dict() for r in results)
+        print(f"all {len(results)} results bit-identical: {identical}")
+
+        # Resubmit after completion: served from the result store, no pool.
+        with ServeClient(socket=handle.address) as client:
+            again = client.plan(CASE, scale=SCALE)
+            print(f"resubmit: outcome={client.last_outcome}, "
+                  f"cache_hit={again.cache_hit}")
+
+            # Live daemon state: request counters by outcome, store hit rate.
+            status = client.status()
+            print(f"requests: { {k: v for k, v in status['requests'].items() if v} }")
+            print(f"store hit rate: {status['store']['hit_rate']:.0%}")
+
+    print(f"daemon drained; metrics snapshot at {config.metrics_out}")
+
+
+if __name__ == "__main__":
+    main()

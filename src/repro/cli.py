@@ -40,7 +40,7 @@ import argparse
 import json
 import sys
 import time
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 
 from repro import __version__
 from repro.evaluation import format_comparison_table
@@ -280,11 +280,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs.add_argument("--json", action="store_true", help="emit the replayed state as JSON")
 
-    cache = sub.add_parser("cache", help="inspect or clear the result store")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache = sub.add_parser("cache", help="inspect, clear, or prune the result store")
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument("--cache-dir", default=None)
     cache.add_argument("--all-versions", action="store_true", help="clear every code version")
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: evict least-recently-used entries until the store fits "
+        "this byte budget (stale code versions age out first)",
+    )
     cache.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="run the resident planning daemon (NDJSON over a socket)"
+    )
+    serve.add_argument("--socket", default=None, help="Unix socket path to listen on")
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host (with --port)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="TCP port (0 = ephemeral; prints the bound port)"
+    )
+    serve.add_argument("--workers", type=int, default=1, help="planner pool worker processes")
+    serve.add_argument(
+        "--max-inflight", type=int, default=2, help="concurrently executing flights (pool slots)"
+    )
+    serve.add_argument(
+        "--per-client-queue",
+        type=int,
+        default=16,
+        help="admission queue bound per client (beyond it: queue_full rejection)",
+    )
+    serve.add_argument(
+        "--event-buffer",
+        type=int,
+        default=256,
+        help="per-subscriber event buffer; overflow drops the oldest events",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM drain waits for in-flight work before escalating",
+    )
+    serve.add_argument("--retries", type=int, default=0, help="pool retries per failed job")
+    serve.add_argument("--no-cache", action="store_true", help="bypass the result store")
+    serve.add_argument("--cache-dir", default=None, help="result-store root (default ~/.cache/eblow)")
+    serve.add_argument(
+        "--prune-bytes",
+        type=int,
+        default=None,
+        help="prune the store to this byte budget (LRU) during shutdown",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the daemon's metrics snapshot here during shutdown",
+    )
+
+    submit = sub.add_parser("submit", help="submit a plan request to a running daemon")
+    submit.add_argument("--socket", default=None, help="daemon Unix socket path")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    submit.add_argument("--case", default=None, help="named benchmark case")
+    submit.add_argument("--instance", default=None, help="instance JSON file (shipped inline)")
+    submit.add_argument("--planner", default="eblow")
+    submit.add_argument("--scale", type=float, default=None)
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--label", default=None)
+    submit.add_argument(
+        "--burst",
+        type=int,
+        default=1,
+        help="submit N concurrent duplicates (one connection each) — exercises "
+        "the daemon's request coalescing",
+    )
+    submit.add_argument("--progress", action="store_true", help="stream PlanEvents to stdout")
+    submit.add_argument("--out", default=None, help="write the resulting plan here")
+    submit.add_argument("--json", action="store_true")
+
+    watch = sub.add_parser(
+        "watch", help="watch a running daemon: its status, or one job's event stream"
+    )
+    watch.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id to subscribe to (omit for the daemon's status)",
+    )
+    watch.add_argument("--socket", default=None, help="daemon Unix socket path")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    watch.add_argument("--json", action="store_true")
 
     for name, helptext in (
         ("table3", "reproduce Table 3 (1DOSP comparison)"),
@@ -470,6 +555,45 @@ def _batch_store(args):
     return ResultStore(args.cache_dir)
 
 
+@contextmanager
+def _graceful_drain(pool, what: str):
+    """SIGTERM/SIGINT → drain instead of dying mid-write.
+
+    The first signal soft-cancels the pool's running jobs (``SIGUSR1`` —
+    they resolve as ``cancelled`` and the loop winds down normally, so
+    manifests, journals, and metrics snapshots are flushed on the way out);
+    a second signal raises :class:`KeyboardInterrupt` for a hard stop.
+    Yields a dict whose ``"flag"`` turns true once a drain was requested.
+    """
+    import signal as _signal
+
+    interrupted = {"flag": False}
+
+    def _handler(signum, frame):
+        if interrupted["flag"]:
+            raise KeyboardInterrupt
+        interrupted["flag"] = True
+        name = _signal.Signals(signum).name
+        print(
+            f"{what}: received {name}, draining (signal again to force quit)",
+            file=sys.stderr,
+            flush=True,
+        )
+        pool.cancel_running()
+
+    previous = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[signum] = _signal.signal(signum, _handler)
+        except (ValueError, OSError):  # not the main thread / restricted env
+            pass
+    try:
+        yield interrupted
+    finally:
+        for signum, old in previous.items():
+            _signal.signal(signum, old)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.runtime import (
         PlannerPool,
@@ -559,7 +683,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     pool = PlannerPool(
         max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
     )
-    with pool, scope, (span("batch", jobs=args.jobs, cases=len(cases)) if span else nullcontext()):
+    with pool, _graceful_drain(pool, "batch") as interrupted, scope, (
+        span("batch", jobs=args.jobs, cases=len(cases)) if span else nullcontext()
+    ):
         for result in iter_jobs(
             grid,
             store=store,
@@ -572,6 +698,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
         ):
             results.append(result)
+            if interrupted["flag"]:
+                # Soft-cancelled jobs resolve as ``cancelled`` and stream out
+                # here; stop consuming once the current dispatch settles so
+                # the summary/manifest flush below still runs.
+                break
             if not args.json:
                 origin = "cache" if result.cache_hit else f"pid {result.worker_pid}"
                 line = (
@@ -611,6 +742,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"journal written to {journal}")
         if args.events_out:
             print(f"{len(events_log.records)} events written to {args.events_out}")
+    if interrupted["flag"]:
+        print(
+            f"batch: drained after signal ({len(results)}/{len(grid)} jobs resolved)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if summary["ok"] == summary["jobs"] else 1
 
 
@@ -665,19 +802,28 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
             print(event.describe(), flush=True)
 
     telemetry = Telemetry(args.manifest)
-    outcome = run_portfolio(
-        target,
-        entries,
-        scale=scale,
-        max_workers=args.jobs,
-        timeout=args.timeout,
-        budget=args.budget,
-        target=args.target,
-        straggler_grace=args.straggler_grace,
-        on_event=on_event,
-        store=_batch_store(args),
-        telemetry=telemetry,
-    )
+    # An explicit pool (rather than letting run_portfolio create one) so the
+    # signal handler can soft-cancel the entrants: SIGTERM/SIGINT drains the
+    # race — stragglers resolve as cancelled, the outcome and its manifest /
+    # metrics snapshot are flushed — instead of killing the process mid-write.
+    from repro.runtime import PlannerPool, default_workers
+
+    workers = default_workers(args.jobs) if args.jobs is None else max(1, args.jobs)
+    pool = PlannerPool(max_workers=min(workers, len(entries)))
+    with pool, _graceful_drain(pool, "portfolio"):
+        outcome = run_portfolio(
+            target,
+            entries,
+            scale=scale,
+            timeout=args.timeout,
+            budget=args.budget,
+            target=args.target,
+            straggler_grace=args.straggler_grace,
+            on_event=on_event,
+            store=_batch_store(args),
+            telemetry=telemetry,
+            pool=pool,
+        )
 
     if args.json:
         payload = {
@@ -834,10 +980,203 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             for version, count in sorted(stats["per_version"].items()):
                 print(f"  {version}: {count}")
         return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("cache: prune needs --max-bytes", file=sys.stderr)
+            return 2
+        report = store.prune(args.max_bytes)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(
+                f"evicted {report['evicted']} entries ({report['bytes_freed']} bytes); "
+                f"{report['entries_remaining']} entries "
+                f"({report['bytes_remaining']} bytes) remain under the "
+                f"{args.max_bytes}-byte budget"
+            )
+        return 0
     removed = store.clear(all_versions=args.all_versions)
     scope = "all versions" if args.all_versions else f"version {store.version}"
     print(f"removed {removed} cached results ({scope})")
     return 0
+
+
+def _serve_endpoint(args: argparse.Namespace, what: str) -> dict | None:
+    """Client connection kwargs from --socket/--host/--port (or None + error)."""
+    if (args.socket is None) == (args.port is None):
+        print(f"{what}: give exactly one of --socket or --port", file=sys.stderr)
+        return None
+    if args.socket is not None:
+        return {"socket": args.socket}
+    return {"host": args.host, "port": args.port}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ValidationError
+    from repro.serve import PlanServer, ServeConfig
+
+    try:
+        config = ServeConfig(
+            socket=args.socket,
+            host=args.host,
+            port=args.port,
+            workers=max(1, args.workers),
+            max_inflight=args.max_inflight,
+            per_client_queue=args.per_client_queue,
+            event_buffer=args.event_buffer,
+            drain_grace=args.drain_grace,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            prune_bytes=args.prune_bytes,
+            metrics_out=args.metrics_out,
+            retries=args.retries,
+        )
+    except ValidationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = PlanServer(config)
+    server.on_ready = lambda address: print(
+        f"eblow serve: listening on {address}", flush=True
+    )
+    asyncio.run(server.run())
+    print("eblow serve: drained, exiting", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    endpoint = _serve_endpoint(args, "submit")
+    if endpoint is None:
+        return 2
+    if (args.case is None) == (args.instance is None):
+        print("submit: give exactly one of --case or --instance", file=sys.stderr)
+        return 2
+    target = args.case if args.case is not None else load_instance(args.instance)
+    kwargs = dict(
+        planner=args.planner,
+        scale=args.scale,
+        timeout=args.timeout,
+        label=args.label,
+        check=False,
+    )
+
+    if args.burst > 1:
+        # One connection per duplicate, submitted concurrently: the daemon
+        # coalesces them onto a single pool execution — the per-request
+        # outcomes printed below are the proof.
+        import threading
+
+        outcomes: list[tuple[str | None, object]] = [None] * args.burst
+
+        def _one(index: int) -> None:
+            try:
+                with ServeClient(**endpoint) as client:
+                    result = client.plan(target, **kwargs)
+                    outcomes[index] = (client.last_outcome, result)
+            except Exception as exc:  # noqa: BLE001 — reported per-slot below
+                outcomes[index] = ("error", exc)
+
+        threads = [
+            threading.Thread(target=_one, args=(i,), name=f"submit-{i}")
+            for i in range(args.burst)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts: dict[str, int] = {}
+        ok = 0
+        for item in outcomes:
+            outcome, result = item if item is not None else ("error", None)
+            counts[outcome] = counts.get(outcome, 0) + 1
+            if getattr(result, "ok", False):
+                ok += 1
+        if args.json:
+            print(json.dumps({"burst": args.burst, "ok": ok, "outcomes": counts}, indent=2))
+        else:
+            summary = ", ".join(f"{count}x {name}" for name, count in sorted(counts.items()))
+            print(f"burst of {args.burst}: {ok} ok ({summary})")
+        return 0 if ok == args.burst else 1
+
+    on_event = None
+    if args.progress:
+        def on_event(event) -> None:
+            print(event.describe(), flush=True)
+
+    try:
+        with ServeClient(**endpoint) as client:
+            result = client.plan(target, on_event=on_event, **kwargs)
+            outcome = client.last_outcome
+    except ServeError as exc:
+        print(f"submit: [{exc.code}] {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=str))
+    else:
+        detail = (
+            f"T={result.writing_time:.0f}, chars={result.num_selected}, "
+            f"{result.wall_seconds:.2f}s"
+            if result.ok
+            else f"{result.status}: {result.error}"
+        )
+        print(f"{result.case} {result.label}: {detail} [{outcome}]")
+    if args.out and result.plan is not None:
+        instance = (
+            target if not isinstance(target, str)
+            else build_instance(target, args.scale or default_scale())
+        )
+        save_plan(StencilPlan.from_dict(instance, result.plan), args.out)
+        print(f"wrote plan to {args.out}")
+    return 0 if result.ok else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    endpoint = _serve_endpoint(args, "watch")
+    if endpoint is None:
+        return 2
+    try:
+        with ServeClient(**endpoint) as client:
+            if args.job_id is None:
+                status = client.status()
+                if args.json:
+                    print(json.dumps(status, indent=2, sort_keys=True))
+                else:
+                    print(
+                        f"uptime {status['uptime_seconds']:.1f}s, "
+                        f"{status['connections']} connections, "
+                        f"{status['inflight']} in flight, {status['queued']} queued"
+                        + (", draining" if status.get("draining") else "")
+                    )
+                    requests = status.get("requests", {})
+                    summary = ", ".join(
+                        f"{count} {name}" for name, count in sorted(requests.items()) if count
+                    )
+                    print(f"requests: {summary or 'none yet'}")
+                    store = status.get("store", {})
+                    if store.get("enabled"):
+                        print(
+                            f"store: {store['hits']}/{store['probes']} hits "
+                            f"({store['hit_rate']:.0%})"
+                        )
+                    for job_id, flight in sorted(status.get("flights", {}).items()):
+                        print(
+                            f"  {job_id[:16]} {flight['kind']} {flight['state']} "
+                            f"(waiters={flight['waiters']}, subscribers={flight['subscribers']})"
+                        )
+                return 0
+            for event in client.iter_events(args.job_id):
+                print(event.describe(), flush=True)
+            done = getattr(client, "last_done", None) or {}
+            print(f"job {args.job_id[:16]} {done.get('status') or 'done'}")
+            return 0
+    except ServeError as exc:
+        print(f"watch: [{exc.code}] {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -904,6 +1243,15 @@ def main(argv: list[str] | None = None) -> int:
             if args.metrics_out:
                 return _with_metrics_snapshot(args, handler)
             return handler(args)
+    if args.command == "serve":
+        # The daemon owns its registry for its whole lifetime and writes the
+        # snapshot itself during the drain — never wrap it in
+        # _with_metrics_snapshot (which would uninstall mid-serve).
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace":

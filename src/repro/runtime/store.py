@@ -56,6 +56,9 @@ _STORE_BYTES = obs_metrics.declare_counter(
 _STORE_QUARANTINED = obs_metrics.declare_counter(
     "store_quarantined_total", "Corrupt store entries moved to quarantine"
 )
+_STORE_EVICTIONS = obs_metrics.declare_counter(
+    "store_evictions_total", "Store entries evicted by prune (LRU by access time)"
+)
 
 #: Envelope schema version of on-disk entries.
 STORE_SCHEMA_VERSION = 1
@@ -145,6 +148,13 @@ class ResultStore:
             return None
         _STORE_REQUESTS.inc(outcome="hit")
         _STORE_BYTES.inc(len(text), direction="read")
+        # Refresh the entry's access time explicitly: prune() evicts LRU by
+        # atime, and relatime / noatime mounts would otherwise freeze it at
+        # roughly the write time, turning LRU into FIFO.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         result.cache_hit = True
         # The stored record carries the label of whoever computed it; rebind
         # to the requesting job so comparison columns keyed on the label are
@@ -223,3 +233,43 @@ class ResultStore:
         if target.is_dir():
             shutil.rmtree(target)
         return removed
+
+    def prune(self, max_bytes: int, all_versions: bool = True) -> dict:
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+        Recency is the entry's access time (:meth:`get` refreshes it on every
+        hit, so LRU holds even on ``noatime`` mounts); ties break on path for
+        determinism.  Entries of *other* cache versions are stale by
+        construction (any code change rotates the namespace), so they age out
+        first under the same LRU ordering — pass ``all_versions=False`` to
+        restrict pruning to the current version's entries.
+
+        Returns ``{"evicted", "bytes_freed", "bytes_remaining", "entries_remaining"}``.
+        """
+        max_bytes = max(0, int(max_bytes))
+        entries = []
+        for path in self._entries(all_versions=all_versions):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced a concurrent eviction
+            entries.append((stat.st_atime, path, stat.st_size))
+        total = sum(size for _, _, size in entries)
+        evicted = 0
+        bytes_freed = 0
+        for _, path, size in sorted(entries, key=lambda item: (item[0], str(item[1]))):
+            if total - bytes_freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            bytes_freed += size
+            _STORE_EVICTIONS.inc()
+        return {
+            "evicted": evicted,
+            "bytes_freed": bytes_freed,
+            "bytes_remaining": total - bytes_freed,
+            "entries_remaining": len(entries) - evicted,
+        }

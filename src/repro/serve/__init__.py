@@ -1,0 +1,45 @@
+"""``repro.serve`` — the resident planning daemon and its client.
+
+Server side (:mod:`repro.serve.server`): a long-lived asyncio process that
+multiplexes many clients onto one warm planner pool, coalescing identical
+in-flight requests by content-hash job id, admitting work through bounded
+fair queues, and fanning the :class:`~repro.events.PlanEvent` stream out to
+any number of subscribers.  Start it with ``python -m repro serve`` (or
+``eblow serve``), or in-process via :func:`start_in_thread`.
+
+Client side (:mod:`repro.serve.client`): a blocking :class:`ServeClient`
+mirroring the ``repro.plan`` façade over the wire.
+
+See ``docs/SERVING.md`` for the protocol and semantics.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    ERROR_CODES,
+    FRAME_KINDS,
+    MAX_FRAME_BYTES,
+    OUTCOMES,
+    PROTOCOL_VERSION,
+    VERBS,
+    ProtocolError,
+)
+from repro.serve.queues import FairQueue, QueueFullError
+from repro.serve.server import PlanServer, ServeConfig, ServerHandle, start_in_thread
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "VERBS",
+    "FRAME_KINDS",
+    "ERROR_CODES",
+    "OUTCOMES",
+    "ProtocolError",
+    "FairQueue",
+    "QueueFullError",
+    "ServeConfig",
+    "PlanServer",
+    "ServerHandle",
+    "start_in_thread",
+    "ServeClient",
+    "ServeError",
+]

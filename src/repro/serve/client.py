@@ -1,0 +1,318 @@
+"""Blocking client for the serve daemon.
+
+:class:`ServeClient` mirrors the façade surface over the wire — the same
+arguments ``repro.plan`` takes produce a request frame, and the result
+comes back as the same :class:`~repro.api.lifecycle.PlanResult`::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(socket="/tmp/eblow.sock") as client:
+        result = client.plan("1T-1", planner="eblow", scale=0.12)
+        print(result.writing_time)
+
+The client is deliberately synchronous (plain ``socket`` + ``json``): the
+daemon carries all the concurrency, and a blocking call per request is the
+shape batch scripts and the CLI verbs want.  One client drives one
+connection; share nothing across threads (open one client per thread —
+connections are cheap, the daemon coalesces the work anyway).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket as socketlib
+from typing import Callable, Iterator, Mapping
+
+from repro.api.lifecycle import PlanningError, PlanResult
+from repro.errors import ReproError
+from repro.events import PlanEvent
+from repro.serve.protocol import decode_frame, encode_frame, request_frame
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """The daemon answered with an ``error`` frame (or the link failed).
+
+    ``code`` is the protocol's stable error code (``queue_full``,
+    ``draining``, ``bad_request``, ...) — ``connection`` for link failures.
+    """
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """One blocking NDJSON connection to a :class:`~repro.serve.server.PlanServer`."""
+
+    def __init__(
+        self,
+        socket: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if (socket is None) == (port is None):
+            raise ServeError("ServeClient needs exactly one of socket= or port=", code="bad_request")
+        try:
+            if socket is not None:
+                self._sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket)
+            else:
+                self._sock = socketlib.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServeError(f"could not connect to the serve daemon: {exc}", code="connection") from exc
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        #: Metadata of the most recent request (from its ``ack`` frame).
+        self.last_job_id: str | None = None
+        self.last_outcome: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Wire plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, verb: str, **payload) -> str:
+        rid = f"r{next(self._ids)}"
+        try:
+            self._file.write(encode_frame(request_frame(rid, verb, **payload)))
+            self._file.flush()
+        except OSError as exc:
+            raise ServeError(f"send failed: {exc}", code="connection") from exc
+        return rid
+
+    def _frames(self, rid: str) -> Iterator[dict]:
+        """Response frames for ``rid``, until (and including) its terminal one."""
+        while True:
+            try:
+                line = self._file.readline()
+            except socketlib.timeout as exc:
+                raise ServeError("timed out waiting for the daemon", code="connection") from exc
+            except OSError as exc:
+                raise ServeError(f"receive failed: {exc}", code="connection") from exc
+            if not line:
+                raise ServeError("connection closed by the daemon", code="connection")
+            frame = decode_frame(line)
+            if frame.get("id") != rid:
+                continue  # a frame for another in-flight request on this link
+            yield frame
+            kind = frame.get("frame")
+            if kind in ("done", "status"):
+                return
+            if kind in ("result", "error") and frame.get("index") is None:
+                return  # terminal; indexed frames are per-batch-entry
+            if kind == "ack" and frame.get("draining"):
+                return  # shutdown's terminal ack
+
+    @staticmethod
+    def _raise(frame: Mapping) -> None:
+        raise ServeError(frame.get("message", "request failed"), code=frame.get("code", "internal"))
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        instance,
+        planner: str = "eblow",
+        *,
+        options: Mapping[str, object] | None = None,
+        scale: float | None = None,
+        timeout: float | None = None,
+        label: str | None = None,
+        on_event: Callable[[PlanEvent], None] | None = None,
+        check: bool = True,
+    ) -> PlanResult:
+        """Plan on the daemon; mirrors :func:`repro.plan`.
+
+        ``instance`` is a benchmark-case name (resolved with ``scale``) or
+        an :class:`~repro.model.OSPInstance` shipped inline.  ``on_event``
+        receives the live :class:`PlanEvent` stream; with ``check=True`` a
+        failed run raises :class:`PlanningError` with the result attached.
+        """
+        request = self._request_payload(instance, planner, options, scale, timeout, label)
+        rid = self._send("plan", request=request, events=on_event is not None)
+        result: PlanResult | None = None
+        for frame in self._frames(rid):
+            kind = frame.get("frame")
+            if kind == "ack":
+                self.last_job_id = frame.get("job_id")
+                self.last_outcome = frame.get("outcome")
+            elif kind == "event" and on_event is not None:
+                on_event(PlanEvent.from_dict(frame["event"]))
+            elif kind == "result":
+                self.last_outcome = frame.get("outcome", self.last_outcome)
+                result = PlanResult.from_dict(frame["result"])
+            elif kind == "error":
+                self._raise(frame)
+        if result is None:
+            raise ServeError("daemon ended the request without a result", code="internal")
+        if check and not result.ok:
+            raise PlanningError(
+                f"planner {planner!r} on {result.case!r} {result.status}: {result.error}",
+                result=result,
+            )
+        return result
+
+    def batch(
+        self,
+        requests,
+        *,
+        on_event: Callable[[PlanEvent], None] | None = None,
+    ) -> list[PlanResult | ServeError]:
+        """Run several plan requests; one list slot per request, in order.
+
+        Each element of ``requests`` is a :class:`PlanRequest`-shaped dict
+        (or a :class:`~repro.api.lifecycle.PlanRequest`).  Rejected or
+        malformed entries come back as :class:`ServeError` values in their
+        slot — the batch itself never raises for per-entry failures.
+        """
+        from repro.api.lifecycle import PlanRequest
+
+        payloads = [
+            r.to_dict() if isinstance(r, PlanRequest) else dict(r) for r in requests
+        ]
+        rid = self._send("batch", requests=payloads, events=on_event is not None)
+        slots: list[PlanResult | ServeError | None] = [None] * len(payloads)
+        for frame in self._frames(rid):
+            kind = frame.get("frame")
+            index = frame.get("index")
+            if kind == "event" and on_event is not None:
+                on_event(PlanEvent.from_dict(frame["event"]))
+            elif kind == "result" and index is not None:
+                slots[index] = PlanResult.from_dict(frame["result"])
+            elif kind == "error":
+                if index is None:
+                    self._raise(frame)
+                slots[index] = ServeError(
+                    frame.get("message", "request failed"),
+                    code=frame.get("code", "internal"),
+                )
+        missing = [i for i, slot in enumerate(slots) if slot is None]
+        if missing:
+            raise ServeError(f"batch ended without results for indices {missing}", code="internal")
+        return slots
+
+    def portfolio(
+        self,
+        instance,
+        entries: Mapping[str, object],
+        *,
+        scale: float | None = None,
+        timeout: float | None = None,
+        budget: float | None = None,
+        target: float | None = None,
+        straggler_grace: float | None = None,
+        jobs: int | None = None,
+        on_event: Callable[[PlanEvent], None] | None = None,
+    ) -> dict:
+        """Race ``entries`` on the daemon; returns the outcome dict.
+
+        The outcome mirrors :class:`~repro.runtime.portfolio.PortfolioOutcome`:
+        ``{"ok", "wall_seconds", "cancelled", "winner", "results"}`` with the
+        result records as plain dicts.
+        """
+        payload: dict = {
+            "entries": {
+                label: (dict(value) if isinstance(value, Mapping) else str(value))
+                for label, value in entries.items()
+            },
+            "scale": scale,
+            "timeout": timeout,
+            "budget": budget,
+            "target": target,
+            "straggler_grace": straggler_grace,
+            "jobs": jobs,
+            "events": on_event is not None,
+        }
+        if isinstance(instance, str):
+            payload["case"] = instance
+        else:
+            payload["instance"] = instance.to_dict()
+        rid = self._send("portfolio", **payload)
+        outcome: dict | None = None
+        for frame in self._frames(rid):
+            kind = frame.get("frame")
+            if kind == "ack":
+                self.last_job_id = frame.get("job_id")
+                self.last_outcome = frame.get("outcome")
+            elif kind == "event" and on_event is not None:
+                on_event(PlanEvent.from_dict(frame["event"]))
+            elif kind == "result":
+                outcome = frame["portfolio"]
+            elif kind == "error":
+                self._raise(frame)
+        if outcome is None:
+            raise ServeError("daemon ended the portfolio without an outcome", code="internal")
+        return outcome
+
+    def iter_events(self, job_id: str) -> Iterator[PlanEvent]:
+        """Subscribe to a queued/running job's event stream (``subscribe``).
+
+        Yields each :class:`PlanEvent` until the job finishes; raises
+        :class:`ServeError` (``unknown_job``) when no such job is in flight.
+        The terminal frame's metadata lands on :attr:`last_done`.
+        """
+        rid = self._send("subscribe", job_id=job_id)
+        self.last_done: dict | None = None
+        for frame in self._frames(rid):
+            kind = frame.get("frame")
+            if kind == "event":
+                yield PlanEvent.from_dict(frame["event"])
+            elif kind == "done":
+                self.last_done = {k: frame.get(k) for k in ("state", "status", "dropped")}
+            elif kind == "error":
+                self._raise(frame)
+
+    def status(self) -> dict:
+        """The daemon's ``status`` frame (queue depths, pool health, counters)."""
+        rid = self._send("status")
+        for frame in self._frames(rid):
+            if frame.get("frame") == "status":
+                return {k: v for k, v in frame.items() if k not in ("v", "id", "frame")}
+            if frame.get("frame") == "error":
+                self._raise(frame)
+        raise ServeError("daemon ended the status request without a reply", code="internal")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (acknowledged before it does)."""
+        rid = self._send("shutdown")
+        for frame in self._frames(rid):
+            if frame.get("frame") == "error":
+                self._raise(frame)
+
+    # ------------------------------------------------------------------ #
+    # Housekeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _request_payload(instance, planner, options, scale, timeout, label) -> dict:
+        payload: dict = {
+            "planner": planner,
+            "options": dict(options or {}),
+            "timeout": timeout,
+            "label": label,
+        }
+        if isinstance(instance, str):
+            payload["case"] = instance
+            payload["scale"] = scale
+        else:
+            if scale is not None:
+                raise ServeError(
+                    "scale= only applies to benchmark-case names", code="bad_request"
+                )
+            payload["instance"] = instance.to_dict()
+        return payload
+
+    def close(self) -> None:
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,93 @@
+"""Admission control for the serve daemon: bounded per-client fair queues.
+
+The daemon sits between an unbounded number of clients and a warm
+:class:`~repro.runtime.pool.PlannerPool` with a small global concurrency
+cap.  Two failure modes must be impossible by construction:
+
+* **unbounded buffering** — a flooding client may not grow server memory
+  without limit, so each client gets its own bounded deque and pushes
+  beyond capacity raise :class:`QueueFullError` (surfaced to the client
+  as an explicit ``queue_full`` rejection it can back off on);
+* **starvation** — admission drains the clients round-robin (one ticket
+  per client per cycle), so a client that queued 16 jobs cannot delay a
+  client that queued one by more than a single pool slot.
+
+The queue is a plain single-threaded structure: the server only touches
+it from the event loop, so there is no locking here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["QueueFullError", "FairQueue"]
+
+
+class QueueFullError(ReproError):
+    """A client's admission queue is at capacity (``queue_full`` rejection)."""
+
+
+class FairQueue:
+    """Bounded per-client queues drained round-robin.
+
+    ``push(client, ticket)`` appends to that client's queue and raises
+    :class:`QueueFullError` at the per-client bound.  ``pop()`` removes and
+    returns the oldest ticket of the least-recently-served client, rotating
+    it to the back of the service order.
+    """
+
+    def __init__(self, per_client: int = 16) -> None:
+        if per_client < 1:
+            raise ValueError(f"per_client must be >= 1, got {per_client}")
+        self.per_client = per_client
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def __bool__(self) -> bool:
+        return any(self._queues.values())
+
+    def push(self, client: str, ticket: Any) -> None:
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+        if len(queue) >= self.per_client:
+            raise QueueFullError(
+                f"client {client!r} already has {len(queue)} queued requests "
+                f"(bound {self.per_client})"
+            )
+        queue.append(ticket)
+
+    def pop(self) -> Any:
+        """The next ticket in round-robin order (raises IndexError when empty)."""
+        while self._queues:
+            client, queue = next(iter(self._queues.items()))
+            # Rotate this client to the back of the service order whether or
+            # not it still has work: freshly pushed clients join at the end,
+            # so each cycle serves every client once.
+            self._queues.move_to_end(client)
+            if queue:
+                ticket = queue.popleft()
+                if not queue:
+                    del self._queues[client]
+                return ticket
+            del self._queues[client]
+        raise IndexError("pop from an empty FairQueue")
+
+    def drop(self, client: str) -> list:
+        """Remove and return every queued ticket of ``client`` (disconnect)."""
+        queue = self._queues.pop(client, None)
+        return list(queue) if queue else []
+
+    def depths(self) -> dict[str, int]:
+        """Per-client queue depth (only clients with queued work)."""
+        return {client: len(queue) for client, queue in self._queues.items() if queue}
+
+    def tickets(self) -> Iterator[Any]:
+        """Every queued ticket, in no particular fairness order."""
+        for queue in self._queues.values():
+            yield from queue

@@ -2,6 +2,7 @@
 
 import hashlib
 import json
+import os
 
 import pytest
 
@@ -164,3 +165,85 @@ class TestLabelRebinding:
         assert cached is not None
         assert cached.label == "e-blow-1"
         assert cached.to_algorithm_result().algorithm == "e-blow-1"
+
+
+class TestPrune:
+    def _populate(self, store, cases=("1T-1", "1T-2", "1T-3")):
+        """Write one entry per case with strictly increasing access times."""
+        jobs = [_job(case=case) for case in cases]
+        for index, job in enumerate(jobs):
+            store.put(job, execute_job(job))
+            path = store.path_for(job)
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+        return jobs
+
+    def test_evicts_least_recently_used_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = self._populate(store)
+        sizes = [store.path_for(job).stat().st_size for job in jobs]
+        # Budget for exactly the two newest entries: the oldest must go.
+        report = store.prune(max_bytes=sizes[1] + sizes[2])
+        assert report["evicted"] == 1
+        assert report["bytes_freed"] == sizes[0]
+        assert report["bytes_remaining"] == sizes[1] + sizes[2]
+        assert report["entries_remaining"] == 2
+        assert store.get(jobs[0]) is None
+        assert store.get(jobs[1]) is not None
+        assert store.get(jobs[2]) is not None
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = self._populate(store)
+        # Touch the oldest entry through a hit: it becomes the newest, so a
+        # one-entry budget now evicts the other two instead.
+        assert store.get(jobs[0]) is not None
+        report = store.prune(max_bytes=store.path_for(jobs[0]).stat().st_size)
+        assert report["evicted"] == 2
+        assert store.get(jobs[0]) is not None
+        assert store.get(jobs[1]) is None
+        assert store.get(jobs[2]) is None
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._populate(store)
+        report = store.prune(max_bytes=0)
+        assert report["evicted"] == 3
+        assert report["bytes_remaining"] == 0
+        assert report["entries_remaining"] == 0
+
+    def test_fitting_store_is_untouched(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = self._populate(store)
+        report = store.prune(max_bytes=10**9)
+        assert report["evicted"] == 0
+        assert report["bytes_freed"] == 0
+        assert all(store.get(job) is not None for job in jobs)
+
+    def test_stale_versions_age_out_under_the_same_lru(self, tmp_path):
+        old = ResultStore(tmp_path, version="v-old")
+        new = ResultStore(tmp_path, version="v-new")
+        job = _job()
+        old.put(job, execute_job(job))
+        os.utime(old.path_for(job), (1, 1))
+        new.put(job, execute_job(job))
+        report = new.prune(max_bytes=new.path_for(job).stat().st_size)
+        assert report["evicted"] == 1
+        assert not old.path_for(job).exists()
+        assert new.get(job) is not None
+        # all_versions=False leaves foreign namespaces alone.
+        old2 = ResultStore(tmp_path, version="v-old")
+        old2.put(job, execute_job(job))
+        report = new.prune(max_bytes=0, all_versions=False)
+        assert report["evicted"] == 1
+        assert old2.path_for(job).exists()
+
+    def test_evictions_are_counted(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        store = ResultStore(tmp_path)
+        self._populate(store)
+        with obs_metrics.collecting() as registry:
+            store.prune(max_bytes=0)
+            snapshot = registry.snapshot()
+        series = snapshot["metrics"]["store_evictions_total"]["series"]
+        assert series[0]["value"] == 3.0

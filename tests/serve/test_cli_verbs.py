@@ -1,0 +1,112 @@
+"""CLI verbs over the daemon (`submit`, `watch`) and `cache prune`."""
+
+import json
+from contextlib import contextmanager
+
+from repro.cli import main
+from repro.runtime import PlanJob, PlannerSpec, ResultStore, execute_job
+from repro.serve import ServeConfig, start_in_thread
+
+
+@contextmanager
+def serving(tmp_path, **overrides):
+    options = dict(
+        socket=str(tmp_path / "serve.sock"),
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    options.update(overrides)
+    with start_in_thread(ServeConfig(**options)) as handle:
+        yield handle
+
+
+def delay_fault(monkeypatch, seconds, match="1T-1"):
+    monkeypatch.setenv(
+        "REPRO_FAULTS",
+        json.dumps([{"kind": "delay", "seconds": seconds, "match": match}]),
+    )
+
+
+class TestCachePrune:
+    def _populate(self, root, cases=("1T-1", "1T-2")):
+        store = ResultStore(root)
+        for case in cases:
+            job = PlanJob(spec=PlannerSpec("greedy-1d"), case=case, scale=0.2)
+            store.put(job, execute_job(job))
+        return store
+
+    def test_prune_needs_a_budget(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "needs --max-bytes" in capsys.readouterr().err
+
+    def test_prune_evicts_to_the_budget(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        rc = main([
+            "cache", "prune", "--cache-dir", str(tmp_path), "--max-bytes", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 entries" in out
+        assert ResultStore(tmp_path).stats()["entries"] == 0
+
+    def test_prune_json_report(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        rc = main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-bytes", "1000000000", "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == 0
+        assert report["entries_remaining"] == 2
+
+
+class TestSubmitWatch:
+    def test_submit_then_watch_status(self, tmp_path, capsys):
+        with serving(tmp_path) as handle:
+            base = ["--socket", handle.address]
+            rc = main(["submit", *base, "--case", "1T-1", "--scale", "0.12"])
+            assert rc == 0
+            assert "[computed]" in capsys.readouterr().out
+
+            rc = main(["submit", *base, "--case", "1T-1", "--scale", "0.12"])
+            assert rc == 0
+            assert "[store_hit]" in capsys.readouterr().out
+
+            rc = main(["watch", *base])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "requests:" in out
+            assert "1 computed" in out
+            assert "1 store_hit" in out
+
+    def test_submit_burst_coalesces(self, tmp_path, capsys, monkeypatch):
+        delay_fault(monkeypatch, 1.5)
+        with serving(tmp_path, max_inflight=1) as handle:
+            rc = main([
+                "submit", "--socket", handle.address,
+                "--case", "1T-1", "--scale", "0.12", "--burst", "4",
+            ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "burst of 4: 4 ok" in out
+        assert "3x coalesced" in out
+        assert "1x computed" in out
+
+    def test_watch_unknown_job_fails_cleanly(self, tmp_path, capsys):
+        with serving(tmp_path) as handle:
+            rc = main(["watch", "--socket", handle.address, "no-such-job"])
+        assert rc == 1
+        assert "unknown_job" in capsys.readouterr().err
+
+    def test_endpoint_must_be_exactly_one(self, capsys):
+        assert main(["submit", "--case", "1T-1"]) == 2
+        assert "exactly one of --socket or --port" in capsys.readouterr().err
+        assert main([
+            "watch", "--socket", "x.sock", "--port", "1",
+        ]) == 2
+
+    def test_serve_rejects_ambiguous_endpoints(self, capsys):
+        rc = main(["serve", "--socket", "x.sock", "--port", "7777"])
+        assert rc == 2
+        assert "serve:" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Wire protocol: frame encode/decode round trips and rejection paths."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    request_frame,
+    response_frame,
+)
+
+
+class TestRoundTrip:
+    def test_request_frame_round_trips(self):
+        frame = request_frame("r1", "plan", request={"case": "1T-1"}, events=True)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded["v"] == PROTOCOL_VERSION
+        assert decoded["id"] == "r1"
+        assert decoded["verb"] == "plan"
+        assert decoded["request"] == {"case": "1T-1"}
+
+    def test_response_frame_round_trips(self):
+        frame = response_frame("r7", "ack", job_id="abc", state="queued")
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded["frame"] == "ack"
+        assert decoded["job_id"] == "abc"
+
+    def test_encoding_is_one_line(self):
+        raw = encode_frame(request_frame("r1", "status"))
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+
+class TestRejection:
+    def test_non_json_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{not json\n")
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_wrong_version_is_a_protocol_error(self):
+        line = (json.dumps({"v": 99, "id": "r1", "verb": "status"}) + "\n").encode()
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(line)
+
+    def test_invalid_utf8_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'\xff\xfe{"v": 1}\n')
+
+    def test_oversized_frame_refuses_to_encode(self):
+        frame = request_frame("r1", "plan", blob="x" * MAX_FRAME_BYTES)
+        with pytest.raises(ProtocolError, match="bound"):
+            encode_frame(frame)
+
+
+class TestErrorFrames:
+    def test_known_code_is_preserved(self):
+        assert "queue_full" in ERROR_CODES
+        frame = error_frame("r1", "queue_full", "try later")
+        assert frame["code"] == "queue_full"
+        assert frame["message"] == "try later"
+
+    def test_unknown_code_collapses_to_internal(self):
+        assert error_frame("r1", "made-up-code", "boom")["code"] == "internal"

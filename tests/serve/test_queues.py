@@ -1,0 +1,85 @@
+"""Admission queue: round-robin fairness and per-client bounds."""
+
+import pytest
+
+from repro.serve.queues import FairQueue, QueueFullError
+
+
+class TestRoundRobin:
+    def test_single_client_is_fifo(self):
+        queue = FairQueue(per_client=8)
+        for ticket in ("a", "b", "c"):
+            queue.push("c1", ticket)
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clients_interleave(self):
+        queue = FairQueue(per_client=8)
+        queue.push("alice", "a1")
+        queue.push("alice", "a2")
+        queue.push("bob", "b1")
+        queue.push("bob", "b2")
+        # alice is ahead by arrival, but bob gets a turn before a2.
+        assert [queue.pop() for _ in range(4)] == ["a1", "b1", "a2", "b2"]
+
+    def test_late_client_joins_the_rotation(self):
+        queue = FairQueue(per_client=8)
+        queue.push("alice", "a1")
+        queue.push("alice", "a2")
+        assert queue.pop() == "a1"
+        queue.push("bob", "b1")
+        assert [queue.pop(), queue.pop()] == ["a2", "b1"]
+
+    def test_pop_empty_raises_index_error(self):
+        with pytest.raises(IndexError):
+            FairQueue().pop()
+
+
+class TestBounds:
+    def test_per_client_bound_raises_queue_full(self):
+        queue = FairQueue(per_client=2)
+        queue.push("c1", 1)
+        queue.push("c1", 2)
+        with pytest.raises(QueueFullError):
+            queue.push("c1", 3)
+        # the bound is per client: another client still gets in.
+        queue.push("c2", 1)
+
+    def test_pop_frees_the_slot(self):
+        queue = FairQueue(per_client=1)
+        queue.push("c1", 1)
+        with pytest.raises(QueueFullError):
+            queue.push("c1", 2)
+        queue.pop()
+        queue.push("c1", 2)
+
+
+class TestBookkeeping:
+    def test_len_and_bool(self):
+        queue = FairQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.push("c1", 1)
+        queue.push("c2", 2)
+        assert queue
+        assert len(queue) == 2
+
+    def test_depths_per_client(self):
+        queue = FairQueue()
+        queue.push("c1", 1)
+        queue.push("c1", 2)
+        queue.push("c2", 3)
+        assert queue.depths() == {"c1": 2, "c2": 1}
+
+    def test_drop_discards_a_clients_tickets(self):
+        queue = FairQueue()
+        queue.push("c1", 1)
+        queue.push("c2", 2)
+        dropped = queue.drop("c1")
+        assert dropped == [1]
+        assert queue.depths() == {"c2": 1}
+
+    def test_tickets_lists_everything_queued(self):
+        queue = FairQueue()
+        queue.push("c1", "x")
+        queue.push("c2", "y")
+        assert sorted(queue.tickets()) == ["x", "y"]
