@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from contextlib import contextmanager, nullcontext
@@ -207,6 +208,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     batch.add_argument("--list-planners", action="store_true", help="list registered planners and exit")
+    batch.add_argument(
+        "--broker",
+        default=None,
+        help="run the grid over a durable work-queue spool at this directory "
+        "instead of the in-process pool: jobs are enqueued with fenced "
+        "leases and served by `eblow worker` processes (--jobs of them are "
+        "spawned here; 0 = rely on externally launched workers)",
+    )
+    batch.add_argument(
+        "--broker-queue",
+        default="default",
+        help="queue name inside the broker spool (default: default)",
+    )
+    batch.add_argument(
+        "--broker-timeout",
+        type=float,
+        default=None,
+        help="seconds the broker driver waits without any spool progress "
+        "before giving up (default: wait forever)",
+    )
 
     portfolio = sub.add_parser("portfolio", help="race several planners on one instance")
     portfolio.add_argument("--case", default=None, help="named benchmark case")
@@ -271,8 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--depth", type=int, default=None, help="truncate the tree display")
     trace.add_argument("--json", action="store_true", help="emit the span tree as JSON")
 
-    jobs = sub.add_parser("jobs", help="inspect a supervisor job journal")
-    jobs.add_argument("journal", help="JSONL job journal (from batch --journal / --supervise)")
+    jobs = sub.add_parser("jobs", help="inspect a supervisor job journal or a broker spool")
+    jobs.add_argument(
+        "journal",
+        help="JSONL job journal (from batch --journal / --supervise), or a "
+        "broker spool directory (from --broker) for live queue inspection",
+    )
+    jobs.add_argument(
+        "--queue",
+        default="default",
+        help="queue name when inspecting a broker spool directory",
+    )
     jobs.add_argument(
         "--ops",
         action="store_true",
@@ -337,6 +367,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the daemon's metrics snapshot here during shutdown",
     )
+    serve.add_argument(
+        "--broker",
+        default=None,
+        help="execute flights over a durable broker spool at this directory "
+        "instead of an in-process pool (--workers `eblow worker` processes "
+        "are spawned; 0 = rely on externally launched workers)",
+    )
+    serve.add_argument(
+        "--broker-queue",
+        default="default",
+        help="queue name inside the broker spool (default: default)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="serve a broker spool: claim, heartbeat, execute, commit"
+    )
+    worker.add_argument(
+        "--broker", required=True, help="broker spool directory (from batch --broker)"
+    )
+    worker.add_argument("--queue", default="default", help="queue name inside the spool")
+    worker.add_argument(
+        "--worker-id", default=None, help="stable worker identity (default: pid-derived)"
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.1, help="seconds between claim attempts when idle"
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after this many jobs (default: run forever)"
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many seconds without claimable work (default: never)",
+    )
+    worker.add_argument(
+        "--wait",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the spool to appear (drivers may create it late)",
+    )
+    worker.add_argument("--json", action="store_true", help="emit the exit summary as JSON")
 
     submit = sub.add_parser("submit", help="submit a plan request to a running daemon")
     submit.add_argument("--socket", default=None, help="daemon Unix socket path")
@@ -629,13 +701,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     }
     scale = args.scale if args.scale is not None else default_scale()
 
-    supervised = (
+    broker_mode = args.broker is not None
+    supervised = not broker_mode and (
         args.supervise
         or args.resume
         or args.journal is not None
         or args.max_attempts is not None
     )
-    journal = args.journal
+    journal = None if broker_mode else args.journal
     if supervised and journal is None and args.manifest:
         # Default the journal next to the manifest so one --manifest flag
         # yields a fully resumable run (run.jsonl -> run.journal.jsonl).
@@ -645,7 +718,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         journal = str(
             manifest_path.with_name(manifest_path.stem + ".journal" + (manifest_path.suffix or ".jsonl"))
         )
-    if args.resume and journal is None:
+    if args.resume and journal is None and not broker_mode:
         print("batch: --resume needs --journal (or --manifest)", file=sys.stderr)
         return 2
 
@@ -677,25 +750,50 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     results = []
-    # One explicit warm pool for the whole invocation: workers (and their
-    # per-digest instance caches) persist across every chunk of the grid,
-    # and shutdown reclaims the arena segments deterministically.
-    pool = PlannerPool(
-        max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
-    )
-    with pool, _graceful_drain(pool, "batch") as interrupted, scope, (
+    scheduler = None
+    if broker_mode:
+        # Broker mode: dispatch over the durable spool — no in-process pool.
+        # The spool is the journal (its ledger shares the JobJournal schema
+        # and `eblow jobs <spool>` inspects it live), resume is implicit, and
+        # the drain handler is the scheduler's own close (SIGTERM/SIGINT
+        # terminate the owned fleet via the context manager below).
+        from repro.dist import BrokerConfig, BrokerScheduler
+
+        broker_config = BrokerConfig(
+            max_attempts=args.max_attempts if args.max_attempts is not None else 3,
+            store_dir=str(store.root) if store is not None else None,
+        )
+        scheduler = BrokerScheduler(
+            args.broker,
+            queue=args.broker_queue,
+            config=broker_config,
+            workers=max(0, args.jobs),
+            wait_timeout=args.broker_timeout,
+        )
+        pool = nullcontext()
+        drain = nullcontext({"flag": False})
+    else:
+        # One explicit warm pool for the whole invocation: workers (and their
+        # per-digest instance caches) persist across every chunk of the grid,
+        # and shutdown reclaims the arena segments deterministically.
+        pool = PlannerPool(
+            max_workers=args.jobs, retries=args.retries, chunksize=args.chunksize
+        )
+        drain = _graceful_drain(pool, "batch")
+    with (scheduler or nullcontext()), pool, drain as interrupted, scope, (
         span("batch", jobs=args.jobs, cases=len(cases)) if span else nullcontext()
     ):
         for result in iter_jobs(
             grid,
             store=store,
             telemetry=telemetry,
-            pool=pool,
+            pool=None if broker_mode else pool,
             on_event=sink,
             supervise=supervised,
             journal=journal,
             resume=args.resume,
-            max_attempts=args.max_attempts,
+            max_attempts=None if broker_mode else args.max_attempts,
+            scheduler=scheduler,
         ):
             results.append(result)
             if interrupted["flag"]:
@@ -740,6 +838,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"manifest written to {args.manifest}")
         if journal:
             print(f"journal written to {journal}")
+        if broker_mode:
+            print(f"broker spool at {args.broker} (inspect with `eblow jobs {args.broker}`)")
         if args.events_out:
             print(f"{len(events_log.records)} events written to {args.events_out}")
     if interrupted["flag"]:
@@ -1032,6 +1132,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             prune_bytes=args.prune_bytes,
             metrics_out=args.metrics_out,
             retries=args.retries,
+            broker=args.broker,
+            broker_queue=args.broker_queue,
         )
     except ValidationError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -1179,9 +1281,103 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import run_worker
+    from repro.errors import ValidationError
+
+    try:
+        summary = run_worker(
+            args.broker,
+            args.queue,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            max_jobs=args.max_jobs,
+            idle_exit=args.idle_exit,
+            wait=args.wait,
+        )
+    except (ValidationError, OSError) as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        outcomes = ", ".join(
+            f"{count} {name}"
+            for name, count in sorted(summary.items())
+            if name not in ("worker", "jobs") and count
+        )
+        print(
+            f"worker {summary['worker']}: {summary['jobs']} jobs"
+            + (f" ({outcomes})" if outcomes else "")
+        )
+    return 0
+
+
+def _cmd_jobs_broker(args: argparse.Namespace) -> int:
+    """`eblow jobs <spool-dir>`: live broker-queue inspection."""
+    from repro.dist import Broker
+    from repro.errors import ValidationError
+
+    try:
+        broker = Broker.open(args.journal, queue=args.queue)
+    except ValidationError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    view = broker.inspect()
+    if args.json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+        return 0
+    counts = view["counts"]
+    summary = ", ".join(f"{counts[state]} {state}" for state in counts)
+    print(f"queue {view['queue']!r} at {args.journal}: {summary}")
+    if view["workers"]:
+        print("\nworkers:")
+        for worker in view["workers"]:
+            liveness = "alive" if worker["alive"] else "DEAD"
+            print(
+                f"  {worker['worker']:<24} pid={worker['pid']:<8} "
+                f"{liveness:<5} last heartbeat {worker['age']:.1f}s ago"
+            )
+    if view["leases"]:
+        print("\nleases:")
+        for lease in view["leases"]:
+            flag = "  STALE" if lease["stale"] else ""
+            print(
+                f"  {lease['job_id'][:12]} epoch={lease['epoch']} "
+                f"worker={lease['worker']} age={lease['age']:.1f}s{flag}"
+            )
+    if view["quarantined"]:
+        print("\nquarantined:")
+        for entry in view["quarantined"]:
+            print(
+                f"  {entry['job_id'][:12]} attempts={entry['attempts']} "
+                f"error={entry['error']!r}"
+            )
+    if args.ops:
+        from repro.runtime import JobJournal
+
+        ledger = broker.ledger_path
+        if ledger.exists():
+            print(f"\nledger ({ledger}):")
+            for record in JobJournal.read(ledger):
+                detail = {
+                    k: v
+                    for k, v in record.items()
+                    if k not in ("record", "v", "job_id", "op", "ts")
+                }
+                print(
+                    f"  {str(record.get('job_id', '-'))[:12]:<12} "
+                    f"{record.get('op', '?'):<14} {detail if detail else ''}"
+                )
+    stale = sum(1 for lease in view["leases"] if lease["stale"])
+    return 0 if not stale and not view["quarantined"] else 1
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.runtime import JobJournal
 
+    if os.path.isdir(args.journal):
+        return _cmd_jobs_broker(args)
     try:
         records = JobJournal.read(args.journal)
     except OSError as exc:
@@ -1260,6 +1456,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "table3":
         _print_comparison(run_table3(args.cases, args.scale, jobs=args.jobs), args.json)
         return 0

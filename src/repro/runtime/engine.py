@@ -70,6 +70,7 @@ def iter_jobs(
     journal=None,
     resume: bool = False,
     max_attempts: int | None = None,
+    scheduler: "Scheduler | None" = None,
 ) -> Iterator[JobResult]:
     """Stream results for ``jobs`` in submission order.
 
@@ -100,8 +101,22 @@ def iter_jobs(
     resumability.  ``retries`` / ``chunksize`` are pool-path knobs and are
     ignored under supervision (supervision retries via its own
     backoff/attempt machinery, one job per dispatch).
+
+    ``scheduler`` swaps the execution substrate entirely (see
+    :mod:`repro.dist.scheduler`): a :class:`~repro.dist.LocalScheduler`
+    reproduces this function's own paths, a
+    :class:`~repro.dist.BrokerScheduler` drives the batch over a durable
+    work-queue spool served by worker processes (possibly on other nodes).
+    When given, the scheduler owns dispatch and every other dispatch knob
+    here (``max_workers`` / ``pool`` / ``supervise`` / ...) is ignored —
+    configure the scheduler instead.
     """
     jobs = list(jobs)
+    if scheduler is not None:
+        yield from scheduler.iter_jobs(
+            jobs, store=store, telemetry=telemetry, on_event=on_event, resume=resume
+        )
+        return
     if supervise or supervisor is not None or journal is not None or resume or max_attempts is not None:
         from repro.runtime.supervision import SupervisorConfig, iter_supervised
 
@@ -183,6 +198,7 @@ def run_jobs(
     journal=None,
     resume: bool = False,
     max_attempts: int | None = None,
+    scheduler: "Scheduler | None" = None,
 ) -> list[JobResult]:
     """Run all jobs and return results in submission order (see iter_jobs)."""
     return list(
@@ -200,5 +216,6 @@ def run_jobs(
             journal=journal,
             resume=resume,
             max_attempts=max_attempts,
+            scheduler=scheduler,
         )
     )

@@ -187,6 +187,7 @@ def run_portfolio(
     pool: PlannerPool | None = None,
     journal=None,
     resume: bool = False,
+    scheduler=None,
 ) -> PortfolioOutcome:
     """Race the ``entries`` on one instance and return the best plan.
 
@@ -212,6 +213,13 @@ def run_portfolio(
     ``resume=True`` replays it so a crashed race re-runs only entrants that
     never finished — finished ``ok`` entrants come back bit-identical from
     the store, finished failures are reported without re-running.
+
+    ``scheduler`` (see :mod:`repro.dist.scheduler`) swaps the execution
+    substrate for the non-cached entrants — e.g. a
+    :class:`~repro.dist.BrokerScheduler` races the portfolio across broker
+    workers.  Entrants then run to completion (there is no cross-node
+    cancellation; per-entrant ``timeout``/``budget`` still bound each run),
+    and ``pool`` / ``max_workers`` / ``straggler_grace`` are ignored.
     """
     if not entries:
         raise ValidationError("portfolio needs at least one planner entry")
@@ -281,6 +289,26 @@ def run_portfolio(
         outcome.cancelled.extend(job.display_label for job in pending_jobs)
         pending_jobs = []
         _STOPS.inc(reason="target")
+    if pending_jobs and scheduler is not None:
+        with span(
+            "portfolio",
+            case=jobs[0].case_name,
+            entrants=len(jobs),
+            pending=len(pending_jobs),
+            scheduler=type(scheduler).__name__,
+        ):
+            for job, result in zip(
+                pending_jobs,
+                scheduler.run_jobs(pending_jobs, store=store, on_event=on_event),
+            ):
+                outcome.results.append(result)
+                race.take(result)
+                if journal_obj is not None:
+                    journal_obj.append(
+                        "done", job.job_id, status=result.status,
+                        attempts=result.attempts,
+                    )
+        pending_jobs = []
     if pending_jobs:
         owns_pool = pool is None
         if owns_pool:

@@ -90,6 +90,10 @@ _FALLBACKS = obs_metrics.declare_counter(
     "supervisor_inline_fallbacks_total",
     "Jobs executed inline after the pool was marked unhealthy",
 )
+_JOURNAL_WRITE_ERRORS = obs_metrics.declare_counter(
+    "journal_write_errors_total",
+    "Journal/ledger appends that failed and flipped degraded mode",
+)
 
 
 @dataclass(frozen=True)
@@ -171,14 +175,35 @@ class JobJournal:
     so after a crash the journal's replayed state is at most one in-flight
     job behind reality — and that job simply re-runs under its content
     ``job_id``.  A torn final line (crash mid-write) is tolerated on replay.
+
+    ``attach=True`` opens the journal as a *shared ledger*: never truncated,
+    never replayed up front — the mode the broker spool ledgers use, where
+    many processes append concurrently (each record is one short
+    ``O_APPEND`` write, which POSIX keeps un-interleaved).
+
+    A journal whose directory stops accepting writes mid-batch (``ENOSPC``,
+    permissions yanked, path replaced) must not crash the supervisor loop —
+    losing the batch over lost *bookkeeping* would invert the module's
+    purpose.  The first failed append raises a :class:`RuntimeWarning` with
+    the cause, flips :attr:`degraded`, and bumps
+    ``journal_write_errors_total``; appends keep landing on the in-memory
+    :attr:`records` mirror so this run stays internally consistent, but a
+    later ``resume`` will not see ops past the failure point.
     """
 
-    def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
+    def __init__(self, path: str | os.PathLike, resume: bool = False,
+                 attach: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         #: job_id → replayed state (see :meth:`replay`); empty on fresh runs.
         self.prior: dict[str, dict] = {}
-        if resume:
+        #: True once an append failed; later appends are memory-only.
+        self.degraded = False
+        #: In-memory mirror of every record appended by *this* process.
+        self.records: list[dict] = []
+        if attach:
+            pass  # shared ledger: leave whatever is on disk untouched
+        elif resume:
             if self.path.exists():
                 self.prior = self.replay(self.path)
         else:
@@ -193,8 +218,25 @@ class JobJournal:
             "job_id": job_id,
         }
         record.update(fields)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(canonical_json(record) + "\n")
+        self.records.append(record)
+        if self.degraded:
+            return
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(canonical_json(record) + "\n")
+        except OSError as exc:
+            self.degraded = True
+            _JOURNAL_WRITE_ERRORS.inc()
+            import warnings
+
+            warnings.warn(
+                f"job journal {self.path} is no longer writable "
+                f"({type(exc).__name__}: {exc}); continuing with the "
+                "in-memory ledger only — this run is unaffected, but a later "
+                "resume will not see operations after this point",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     @staticmethod
     def read(path: str | os.PathLike) -> list[dict]:

@@ -20,7 +20,9 @@ connections are cheap, the daemon coalesces the work anyway).
 from __future__ import annotations
 
 import itertools
+import random
 import socket as socketlib
+import time
 from typing import Callable, Iterator, Mapping
 
 from repro.api.lifecycle import PlanningError, PlanResult
@@ -44,7 +46,19 @@ class ServeError(ReproError):
 
 
 class ServeClient:
-    """One blocking NDJSON connection to a :class:`~repro.serve.server.PlanServer`."""
+    """One blocking NDJSON connection to a :class:`~repro.serve.server.PlanServer`.
+
+    ``retries`` arms automatic reconnect: a verb that fails with a
+    ``connection`` error (link dropped, daemon restarting) re-dials the
+    endpoint and re-sends the request, up to ``retries`` times with seeded
+    jittered exponential backoff — safe to repeat, because plan requests
+    are content-addressed on the daemon (a retried request coalesces onto
+    the in-flight computation or is answered from the store).  ``draining``
+    rejections get their own budget (``draining_retries``, default: the
+    same as ``retries``): a draining daemon is usually about to be replaced
+    by its supervisor, so the retry waits out the restart instead of
+    failing the caller.  Budgets are per-verb-call, not per-client.
+    """
 
     def __init__(
         self,
@@ -52,29 +66,118 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int | None = None,
         timeout: float | None = None,
+        retries: int = 0,
+        draining_retries: int | None = None,
+        retry_base: float = 0.1,
+        retry_cap: float = 2.0,
+        retry_jitter: float = 0.5,
+        retry_seed: int = 0,
     ) -> None:
         if (socket is None) == (port is None):
             raise ServeError("ServeClient needs exactly one of socket= or port=", code="bad_request")
-        try:
-            if socket is not None:
-                self._sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
-                self._sock.settimeout(timeout)
-                self._sock.connect(socket)
-            else:
-                self._sock = socketlib.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServeError(f"could not connect to the serve daemon: {exc}", code="connection") from exc
-        self._file = self._sock.makefile("rwb")
+        self._endpoint = {"socket": socket, "host": host, "port": port, "timeout": timeout}
+        self._retries = max(0, int(retries))
+        self._draining_retries = (
+            self._retries if draining_retries is None else max(0, int(draining_retries))
+        )
+        self._retry_base = retry_base
+        self._retry_cap = retry_cap
+        self._retry_jitter = retry_jitter
+        self._rng = random.Random(retry_seed)
+        self._sock: socketlib.socket | None = None
+        self._file = None
         self._ids = itertools.count(1)
         #: Metadata of the most recent request (from its ``ack`` frame).
         self.last_job_id: str | None = None
         self.last_outcome: str | None = None
+        #: Successful re-dials performed by the retry machinery.
+        self.reconnects = 0
+        self._connect_retrying()
+
+    # ------------------------------------------------------------------ #
+    # Connection + retry machinery
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        socket = self._endpoint["socket"]
+        timeout = self._endpoint["timeout"]
+        try:
+            if socket is not None:
+                sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(socket)
+            else:
+                sock = socketlib.create_connection(
+                    (self._endpoint["host"], self._endpoint["port"]), timeout=timeout
+                )
+        except OSError as exc:
+            raise ServeError(f"could not connect to the serve daemon: {exc}", code="connection") from exc
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def _delay(self, failures: int) -> float:
+        """Jittered exponential backoff for the ``failures``-th failure."""
+        base = min(self._retry_cap, self._retry_base * (2 ** max(0, failures - 1)))
+        return base * (1.0 + self._retry_jitter * self._rng.random())
+
+    def _connect_retrying(self) -> None:
+        """Initial dial, honouring the connection retry budget."""
+        failures = 0
+        while True:
+            try:
+                self._connect()
+                return
+            except ServeError:
+                failures += 1
+                if failures > self._retries:
+                    raise
+                time.sleep(self._delay(failures))
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
+
+    def _retrying(self, attempt: Callable[[], object]):
+        """Run ``attempt`` under the reconnect/draining retry budgets."""
+        conn_left = self._retries
+        drain_left = self._draining_retries
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except ServeError as exc:
+                if exc.code == "connection":
+                    if conn_left <= 0:
+                        raise
+                    conn_left -= 1
+                elif exc.code == "draining":
+                    if drain_left <= 0:
+                        raise
+                    drain_left -= 1
+                else:
+                    raise
+                failures += 1
+                # Re-dial until it sticks (consuming the connection budget):
+                # a restarting daemon rejects dials for a moment after it
+                # drops established links.
+                while True:
+                    time.sleep(self._delay(failures))
+                    try:
+                        self._reconnect()
+                        break
+                    except ServeError:
+                        if conn_left <= 0:
+                            raise
+                        conn_left -= 1
+                        failures += 1
 
     # ------------------------------------------------------------------ #
     # Wire plumbing
     # ------------------------------------------------------------------ #
     def _send(self, verb: str, **payload) -> str:
         rid = f"r{next(self._ids)}"
+        if self._file is None:
+            raise ServeError("client is not connected", code="connection")
         try:
             self._file.write(encode_frame(request_frame(rid, verb, **payload)))
             self._file.flush()
@@ -130,7 +233,27 @@ class ServeClient:
         an :class:`~repro.model.OSPInstance` shipped inline.  ``on_event``
         receives the live :class:`PlanEvent` stream; with ``check=True`` a
         failed run raises :class:`PlanningError` with the result attached.
+        Retried under the reconnect budget (events may replay on a retry).
         """
+        return self._retrying(
+            lambda: self._plan_once(
+                instance, planner, options=options, scale=scale, timeout=timeout,
+                label=label, on_event=on_event, check=check,
+            )
+        )
+
+    def _plan_once(
+        self,
+        instance,
+        planner: str,
+        *,
+        options,
+        scale,
+        timeout,
+        label,
+        on_event,
+        check,
+    ) -> PlanResult:
         request = self._request_payload(instance, planner, options, scale, timeout, label)
         rid = self._send("plan", request=request, events=on_event is not None)
         result: PlanResult | None = None
@@ -167,7 +290,11 @@ class ServeClient:
         (or a :class:`~repro.api.lifecycle.PlanRequest`).  Rejected or
         malformed entries come back as :class:`ServeError` values in their
         slot — the batch itself never raises for per-entry failures.
+        Whole-batch failures are retried under the reconnect budget.
         """
+        return self._retrying(lambda: self._batch_once(requests, on_event=on_event))
+
+    def _batch_once(self, requests, *, on_event) -> list[PlanResult | ServeError]:
         from repro.api.lifecycle import PlanRequest
 
         payloads = [
@@ -211,8 +338,29 @@ class ServeClient:
 
         The outcome mirrors :class:`~repro.runtime.portfolio.PortfolioOutcome`:
         ``{"ok", "wall_seconds", "cancelled", "winner", "results"}`` with the
-        result records as plain dicts.
+        result records as plain dicts.  Retried under the reconnect budget.
         """
+        return self._retrying(
+            lambda: self._portfolio_once(
+                instance, entries, scale=scale, timeout=timeout, budget=budget,
+                target=target, straggler_grace=straggler_grace, jobs=jobs,
+                on_event=on_event,
+            )
+        )
+
+    def _portfolio_once(
+        self,
+        instance,
+        entries: Mapping[str, object],
+        *,
+        scale,
+        timeout,
+        budget,
+        target,
+        straggler_grace,
+        jobs,
+        on_event,
+    ) -> dict:
         payload: dict = {
             "entries": {
                 label: (dict(value) if isinstance(value, Mapping) else str(value))
@@ -266,7 +414,14 @@ class ServeClient:
                 self._raise(frame)
 
     def status(self) -> dict:
-        """The daemon's ``status`` frame (queue depths, pool health, counters)."""
+        """The daemon's ``status`` frame (queue depths, pool health, counters).
+
+        Retried under the reconnect budget (``draining`` never applies —
+        a draining daemon still answers status requests).
+        """
+        return self._retrying(self._status_once)
+
+    def _status_once(self) -> dict:
         rid = self._send("status")
         for frame in self._frames(rid):
             if frame.get("frame") == "status":
@@ -305,11 +460,15 @@ class ServeClient:
         return payload
 
     def close(self) -> None:
-        for closer in (self._file.close, self._sock.close):
+        for closable in (self._file, self._sock):
+            if closable is None:
+                continue
             try:
-                closer()
+                closable.close()
             except OSError:
                 pass
+        self._file = None
+        self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -136,6 +136,14 @@ class ServeConfig:
     metrics_out: str | None = None
     #: Pool-level retries for failed job attempts.
     retries: int = 0
+    #: When set, flights execute over the durable broker spool at this
+    #: directory instead of an in-process pool: ``workers`` becomes the
+    #: number of ``eblow worker`` subprocesses the daemon owns (0 = rely on
+    #: externally launched workers attached to the same spool).  Live event
+    #: streams do not cross the spool, so ``subscribe`` delivers no events
+    #: for broker-served flights.
+    broker: str | None = None
+    broker_queue: str = "default"
 
     def __post_init__(self) -> None:
         if (self.socket is None) == (self.port is None):
@@ -252,6 +260,7 @@ class PlanServer:
         self._server: asyncio.AbstractServer | None = None
         self._pool: PlannerPool | None = None
         self._aux_pools: set[PlannerPool] = set()
+        self._scheduler = None  # BrokerScheduler when config.broker is set
         self._relay: EventRelay | None = None
         self._compute: ThreadPoolExecutor | None = None
         self._store: ResultStore | None = None
@@ -280,15 +289,30 @@ class PlanServer:
         registry = obs_metrics.MetricsRegistry()
         previous = obs_metrics.installed()
         obs_metrics.install(registry)
-        self._pool = PlannerPool(
-            max_workers=self.config.workers, retries=self.config.retries
-        )
-        self._relay = EventRelay(self._on_relay_event)
-        self._compute = ThreadPoolExecutor(
-            max_workers=self.config.max_inflight + 1, thread_name_prefix="serve-compute"
-        )
         self._store = (
             ResultStore(self.config.cache_dir) if self.config.cache else None
+        )
+        if self.config.broker is not None:
+            # Broker mode: flights ride the durable spool, served by worker
+            # subprocesses — no in-process pool (and no live event relay;
+            # events do not cross the spool).
+            from repro.dist import BrokerConfig, BrokerScheduler
+
+            self._scheduler = BrokerScheduler(
+                self.config.broker,
+                queue=self.config.broker_queue,
+                config=BrokerConfig(
+                    store_dir=str(self._store.root) if self._store is not None else None
+                ),
+                workers=max(0, self.config.workers),
+            )
+        else:
+            self._pool = PlannerPool(
+                max_workers=self.config.workers, retries=self.config.retries
+            )
+            self._relay = EventRelay(self._on_relay_event)
+        self._compute = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight + 1, thread_name_prefix="serve-compute"
         )
         import signal as _signal
 
@@ -409,6 +433,8 @@ class PlanServer:
             if pool is not None:
                 await loop.run_in_executor(None, pool.shutdown)
         self._aux_pools.clear()
+        if self._scheduler is not None:
+            await loop.run_in_executor(None, self._scheduler.close)
         if self._relay is not None:
             await loop.run_in_executor(None, self._relay.close)
         if self._store is not None and self.config.prune_bytes is not None:
@@ -865,6 +891,11 @@ class PlanServer:
     def _compute_plan(self, flight: Flight):
         """Blocking (compute thread): one pool execution + store write."""
         job = flight.job
+        if self._scheduler is not None:
+            # Broker mode: enqueue + collect over the spool.  The worker
+            # commit already wrote the store; no driver-side put needed.
+            [result] = self._scheduler.run_jobs([job], store=self._store)
+            return result
         with self._dispatch_lock:
             # The arena export inside describe()/submit() is not thread-safe;
             # one dispatch at a time, the heavy work happens in the workers.
@@ -882,6 +913,19 @@ class PlanServer:
         from repro.runtime.portfolio import run_portfolio
 
         entries = params["entries"]
+        if self._scheduler is not None:
+            # Broker mode: the race's entrants run over the shared spool
+            # (no live incumbent events, no cross-node cancellation).
+            return run_portfolio(
+                params["target"],
+                entries,
+                scale=params["scale"],
+                timeout=params["timeout"],
+                budget=params["budget"],
+                target=params["goal"],
+                store=self._store,
+                scheduler=self._scheduler,
+            )
         workers = params["workers"] or min(len(entries), os.cpu_count() or 1)
         pool = PlannerPool(max_workers=max(1, int(workers)))
         self._aux_pools.add(pool)

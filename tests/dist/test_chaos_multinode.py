@@ -1,0 +1,290 @@
+"""Simulated multi-node chaos: broker spool + real worker subprocesses.
+
+This is the distributed tier's acceptance suite.  Each test stands up the
+spool, launches real ``python -m repro worker`` processes (the exact
+``eblow worker`` code path — own interpreter, own pid, nothing shared with
+the driver but the filesystem), arms the deterministic fault harness in the
+workers' environment, and drives a batch with ``BrokerScheduler(workers=0)``
+so every recovery decision flows through the public reap/requeue protocol.
+
+The invariant is the same one the in-process chaos suite pins down, one
+level up: kills, heartbeat stalls, and late stale finishes may cost time
+and attempts, but the surviving plans must be bit-identical to a fault-free
+serial run, with exactly one terminal ledger record per job and no orphaned
+processes or leases left behind.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.dist import Broker, BrokerConfig, BrokerScheduler
+from repro.obs import metrics as obs_metrics
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    JobJournal,
+    PlannerSpec,
+    grid_jobs,
+    run_jobs,
+)
+
+_PLANNERS = {"e-blow": PlannerSpec("eblow-1d"), "greedy": PlannerSpec("greedy-1d")}
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _grid():
+    return grid_jobs(["1T-1", "1T-2"], _PLANNERS, scale=1.0)
+
+
+def _assert_same_plan(a, b):
+    wall = ("runtime_seconds", "lp_solve_seconds", "stage_seconds")
+    assert a.job_id == b.job_id
+    assert a.writing_time == b.writing_time
+    stats_a = {k: v for k, v in a.plan["stats"].items() if k not in wall}
+    stats_b = {k: v for k, v in b.plan["stats"].items() if k not in wall}
+    assert stats_a == stats_b
+    assert {k: v for k, v in a.plan.items() if k != "stats"} == {
+        k: v for k, v in b.plan.items() if k != "stats"
+    }
+
+
+def _counter_value(snapshot, name, **labels):
+    entry = snapshot["metrics"].get(name)
+    if entry is None:
+        return 0.0
+    total = 0.0
+    for series in entry["series"]:
+        if all(series["labels"].get(k) == v for k, v in labels.items()):
+            total += series["value"]
+    return total
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free serial reference results for the test grid."""
+    return run_jobs(_grid())
+
+
+def _fast_config(store, **overrides):
+    defaults = dict(
+        lease_timeout=5.0,
+        heartbeat_interval=0.05,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        store_dir=str(store),
+    )
+    defaults.update(overrides)
+    return BrokerConfig(**defaults)
+
+
+def _spawn_worker(spool, worker_id, *, fault_env=None, idle_exit=3.0,
+                  max_jobs=None):
+    """Launch a real ``python -m repro worker`` subprocess on the spool."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if fault_env:
+        env.update(fault_env)
+    cmd = [
+        sys.executable, "-m", "repro", "worker",
+        "--broker", str(spool), "--poll", "0.02",
+        "--worker-id", worker_id, "--idle-exit", str(idle_exit),
+    ]
+    if max_jobs is not None:
+        cmd += ["--max-jobs", str(max_jobs)]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+
+
+def _drain(procs, timeout=120.0):
+    """Wait for every worker to exit; returns {worker_id: returncode}."""
+    codes = {}
+    for worker_id, proc in procs.items():
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            pytest.fail(f"worker {worker_id} never exited (orphaned process)")
+        finally:
+            proc.stdout.close()
+            proc.stderr.close()
+        codes[worker_id] = proc.returncode
+    return codes
+
+
+def _assert_spool_settled(broker, done=4):
+    assert not list(broker.queued.glob("*.json"))
+    assert not list(broker.leased.glob("*.json"))
+    assert len(list(broker.done.glob("*.json"))) == done
+
+
+class TestKillChaos:
+    def test_sigkilled_worker_node_is_reaped_and_batch_completes(
+        self, tmp_path, baseline
+    ):
+        """SIGKILL one of three worker processes mid-job: the driver's reap
+        must notice the dead pid, requeue its lease, and the survivors must
+        finish the batch bit-identically."""
+        spool = tmp_path / "spool"
+        # The SIGKILL'd child lingers as a zombie until this test reaps it,
+        # so the driver's pid-liveness probe still sees it: death is detected
+        # through heartbeat staleness.  Keep the lease timeout well under the
+        # survivors' idle-exit window so they are still around for the redo.
+        broker = Broker.create(
+            spool, config=_fast_config(tmp_path / "store", lease_timeout=2.0)
+        )
+        for job in _grid():
+            broker.enqueue(job)
+
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="kill_worker", match="1T-1", once=True, seconds=0.1),),
+            scratch=str(scratch),
+        )
+        procs = {
+            wid: _spawn_worker(spool, wid, fault_env=plan.to_env(), idle_exit=8.0)
+            for wid in ("node-a", "node-b", "node-c")
+        }
+        try:
+            with obs_metrics.collecting() as registry:
+                with BrokerScheduler(spool, workers=0, poll_interval=0.05,
+                                     wait_timeout=120.0) as scheduler:
+                    results = run_jobs(_grid(), scheduler=scheduler)
+        finally:
+            codes = _drain(procs)
+
+        assert all(r.ok for r in results), [(r.status, r.error) for r in results]
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+
+        # Exactly one node died by SIGKILL; the rest exited cleanly on idle.
+        assert sorted(codes.values()) == [-9, 0, 0], codes
+        snapshot = registry.snapshot()
+        assert _counter_value(snapshot, "dist_worker_deaths_total") >= 1
+        assert _counter_value(snapshot, "dist_lease_expiries_total") >= 1
+
+        # Exactly-once accounting: one terminal ledger record per job, a
+        # settled spool, and no lingering worker registrations.
+        ops = JobJournal.read(broker.ledger_path)
+        for job in _grid():
+            done = [r for r in ops if r.get("job_id") == job.job_id and r["op"] == "done"]
+            assert len(done) == 1
+        assert any(r["op"] == "worker_dead" for r in ops)
+        _assert_spool_settled(broker)
+        assert broker.inspect()["workers"] == []
+
+
+class TestStallChaos:
+    def test_stalled_heartbeat_expires_and_late_finish_is_fenced(
+        self, tmp_path, baseline
+    ):
+        """Partition one worker mid-job: its heartbeats go silent and the job
+        wedges for longer than the lease timeout.  The lease must expire, a
+        healthy worker must redo the job, and the partitioned worker's late
+        commit must be discarded by the fencing epoch — exactly one ``done``
+        record survives either way."""
+        spool = tmp_path / "spool"
+        broker = Broker.create(
+            spool, config=_fast_config(tmp_path / "store", lease_timeout=1.5)
+        )
+        grid = _grid()
+        target = next(
+            j for j in grid if j.case_name == "1T-1" and j.spec.planner == "greedy-1d"
+        )
+        for job in grid:
+            broker.enqueue(job)
+
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        # Both faults key on the target's content-hash id, so whichever node
+        # claims it first goes silent *and* wedges — a partitioned node, not
+        # merely a slow one.  The wedge (6s) comfortably outlives the lease
+        # (1.5s), so the expiry/redo path is deterministic.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="stall_heartbeat", match=target.job_id, once=True),
+                FaultSpec(kind="delay", match=target.job_id, once=True, seconds=6.0),
+            ),
+            scratch=str(scratch),
+        )
+        procs = {
+            wid: _spawn_worker(spool, wid, fault_env=plan.to_env(), idle_exit=2.0)
+            for wid in ("node-a", "node-b", "node-c")
+        }
+        try:
+            with obs_metrics.collecting() as registry:
+                with BrokerScheduler(spool, workers=0, poll_interval=0.05,
+                                     wait_timeout=120.0) as scheduler:
+                    results = run_jobs(grid, scheduler=scheduler)
+        finally:
+            # The partitioned node is still wedged when the batch returns;
+            # wait for it to wake, commit stale, and exit before auditing.
+            codes = _drain(procs)
+
+        assert all(r.ok for r in results), [(r.status, r.error) for r in results]
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+        assert sorted(codes.values()) == [0, 0, 0], codes
+
+        snapshot = registry.snapshot()
+        assert _counter_value(snapshot, "dist_lease_expiries_total") >= 1
+
+        # The target was claimed twice (partitioned + redo), finished once,
+        # and the late finish was ledgered as a fenced discard.  The stale
+        # discard happens in the worker's process, so the ledger — not the
+        # driver's metrics registry — is the observable record.
+        ops = JobJournal.read(broker.ledger_path)
+        target_ops = [r["op"] for r in ops if r.get("job_id") == target.job_id]
+        assert target_ops.count("done") == 1
+        assert target_ops.count("leased") == 2
+        assert "lease_expired" in target_ops
+        assert "stale_discarded" in target_ops
+        for job in grid:
+            done = [r for r in ops if r.get("job_id") == job.job_id and r["op"] == "done"]
+            assert len(done) == 1
+        _assert_spool_settled(broker)
+
+
+class TestPartialProgressResume:
+    def test_cluster_heals_after_losing_its_only_worker(self, tmp_path, baseline):
+        """A lone worker completes part of the batch and vanishes (max-jobs
+        models a node decommissioned mid-run).  A later driver with fresh
+        workers must finish the remainder without redoing the done jobs."""
+        spool = tmp_path / "spool"
+        broker = Broker.create(spool, config=_fast_config(tmp_path / "store"))
+        grid = _grid()
+        for job in grid:
+            broker.enqueue(job)
+
+        _drain({"node-a": _spawn_worker(spool, "node-a", max_jobs=2)})
+        assert len(list(broker.done.glob("*.json"))) == 2
+
+        procs = {
+            wid: _spawn_worker(spool, wid, idle_exit=2.0)
+            for wid in ("node-b", "node-c")
+        }
+        try:
+            with BrokerScheduler(spool, workers=0, poll_interval=0.05,
+                                 wait_timeout=120.0) as scheduler:
+                results = run_jobs(grid, scheduler=scheduler)
+        finally:
+            _drain(procs)
+
+        assert all(r.ok for r in results)
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+        # The first node's work was not redone: still one done record per job.
+        ops = JobJournal.read(broker.ledger_path)
+        for job in grid:
+            done = [r for r in ops if r.get("job_id") == job.job_id and r["op"] == "done"]
+            assert len(done) == 1
+        _assert_spool_settled(broker)

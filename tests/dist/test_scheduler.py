@@ -1,0 +1,133 @@
+"""Scheduler interface tests: LocalScheduler parity, BrokerScheduler driving.
+
+Broker execution here hosts the :class:`WorkerAgent` on a thread (same
+process, same filesystem protocol) — the real-subprocess fleet is exercised
+by ``test_chaos_multinode.py``; these tests pin down dispatch semantics.
+"""
+
+import threading
+
+import pytest
+
+from repro.dist import Broker, BrokerConfig, BrokerScheduler, LocalScheduler, WorkerAgent
+from repro.runtime import (
+    PlannerSpec,
+    ResultStore,
+    Telemetry,
+    grid_jobs,
+    run_jobs,
+)
+from repro.runtime.portfolio import run_portfolio
+
+_PLANNERS = {"e-blow": PlannerSpec("eblow-1d"), "greedy": PlannerSpec("greedy-1d")}
+
+
+def _grid():
+    return grid_jobs(["1T-1", "1T-2"], _PLANNERS, scale=1.0)
+
+
+def _assert_same_plan(a, b):
+    wall = ("runtime_seconds", "lp_solve_seconds", "stage_seconds")
+    assert a.job_id == b.job_id
+    assert a.writing_time == b.writing_time
+    stats_a = {k: v for k, v in a.plan["stats"].items() if k not in wall}
+    stats_b = {k: v for k, v in b.plan["stats"].items() if k not in wall}
+    assert stats_a == stats_b
+    assert {k: v for k, v in a.plan.items() if k != "stats"} == {
+        k: v for k, v in b.plan.items() if k != "stats"
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free serial reference for the test grid."""
+    return run_jobs(_grid())
+
+
+class _WorkerThread:
+    """A WorkerAgent on a thread, serving the spool until closed."""
+
+    def __init__(self, broker: Broker, **kwargs) -> None:
+        kwargs.setdefault("poll_interval", 0.02)
+        self.agent = WorkerAgent(broker, mark_process=False, **kwargs)
+        self.thread = threading.Thread(target=self.agent.run, daemon=True)
+        self.summary = None
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.agent.request_stop()
+        self.thread.join(timeout=60.0)
+        assert not self.thread.is_alive()
+
+
+class TestLocalScheduler:
+    def test_matches_direct_engine_dispatch(self, tmp_path, baseline):
+        store = ResultStore(tmp_path / "store")
+        results = run_jobs(_grid(), store=store, scheduler=LocalScheduler(max_workers=2))
+        assert all(r.ok for r in results)
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+
+    def test_supervised_variant(self, tmp_path, baseline):
+        scheduler = LocalScheduler(max_workers=1, supervise=True,
+                                   journal=tmp_path / "j.jsonl")
+        results = run_jobs(_grid(), scheduler=scheduler)
+        assert all(r.ok for r in results)
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+
+
+class TestBrokerScheduler:
+    def test_batch_over_spool_is_bit_identical(self, tmp_path, baseline):
+        config = BrokerConfig(store_dir=str(tmp_path / "store"))
+        with BrokerScheduler(tmp_path / "spool", config=config, workers=0,
+                             poll_interval=0.02, wait_timeout=60.0) as scheduler:
+            manifest = Telemetry(tmp_path / "run.jsonl")
+            with _WorkerThread(scheduler.broker):
+                results = run_jobs(_grid(), scheduler=scheduler, telemetry=manifest)
+        assert [r.status for r in results] == ["ok"] * 4
+        for a, b in zip(baseline, results):
+            _assert_same_plan(a, b)
+        # Results stream in submission order and land in the manifest.
+        assert [r["job_id"] for r in manifest.records if r.get("record") == "job"] \
+            == [j.job_id for j in _grid()]
+
+    def test_restarted_driver_resumes_from_the_spool(self, tmp_path, baseline):
+        config = BrokerConfig(store_dir=str(tmp_path / "store"))
+        with BrokerScheduler(tmp_path / "spool", config=config, workers=0,
+                             poll_interval=0.02, wait_timeout=60.0) as scheduler:
+            with _WorkerThread(scheduler.broker):
+                first = run_jobs(_grid(), scheduler=scheduler)
+        assert all(r.ok for r in first)
+        # A fresh driver, no workers at all: everything must come back from
+        # the spool's done markers + store, instantly.
+        with BrokerScheduler(tmp_path / "spool", workers=0, poll_interval=0.02,
+                             wait_timeout=5.0) as resumed:
+            second = run_jobs(_grid(), scheduler=resumed)
+        assert all(r.ok for r in second)
+        for a, b in zip(baseline, second):
+            _assert_same_plan(a, b)
+
+    def test_no_workers_times_out_with_diagnostics(self, tmp_path):
+        with BrokerScheduler(tmp_path / "spool", workers=0, poll_interval=0.02,
+                             wait_timeout=0.3) as scheduler:
+            with pytest.raises(TimeoutError, match="is any worker attached"):
+                run_jobs(_grid()[:1], scheduler=scheduler)
+
+    def test_portfolio_over_spool_picks_the_right_winner(self, tmp_path, baseline):
+        config = BrokerConfig(store_dir=str(tmp_path / "store"))
+        with BrokerScheduler(tmp_path / "spool", config=config, workers=0,
+                             poll_interval=0.02, wait_timeout=60.0) as scheduler:
+            with _WorkerThread(scheduler.broker):
+                outcome = run_portfolio(
+                    "1T-1", _PLANNERS, scale=1.0, scheduler=scheduler,
+                    store=scheduler.broker.store,
+                )
+        assert outcome.ok and outcome.winner is not None
+        expected = min(
+            (r for r in baseline if r.case == "1T-1"), key=lambda r: r.writing_time
+        )
+        assert outcome.winner.writing_time == expected.writing_time

@@ -85,6 +85,36 @@ class TestJobJournal:
         state = JobJournal.replay(path)
         assert state == {"aaa": {"state": "done", "attempts": 0, "status": "ok"}}
 
+    def test_unwritable_journal_degrades_without_failing_the_run(self, tmp_path):
+        """ENOSPC-style write failures must never take the batch down: the
+        journal flips to degraded, warns exactly once, keeps the in-memory
+        mirror complete, and counts the event."""
+        import os
+
+        from repro.obs import metrics as obs_metrics
+
+        path = tmp_path / "run.journal.jsonl"
+        with obs_metrics.collecting() as registry:
+            journal = JobJournal(path)
+            journal.append("queued", "aaa")
+            # Make the next append fail mid-run (IsADirectoryError is the
+            # portable stand-in for a full/unwritable filesystem).
+            os.remove(path)
+            os.mkdir(path)
+            with pytest.warns(RuntimeWarning, match="no longer writable"):
+                journal.append("leased", "aaa", attempt=1)
+            # Later appends stay silent — one warning per journal, not per op.
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                journal.append("done", "aaa", status="ok")
+        assert journal.degraded is True
+        assert [r["op"] for r in journal.records] == ["queued", "leased", "done"]
+        snapshot = registry.snapshot()
+        series = snapshot["metrics"]["journal_write_errors_total"]["series"]
+        assert sum(s["value"] for s in series) == 1
+
     def test_fresh_journal_truncates_resume_replays(self, tmp_path):
         path = tmp_path / "run.journal.jsonl"
         JobJournal(path).append("queued", "aaa")

@@ -1,0 +1,152 @@
+"""ServeClient auto-reconnect: retry budgets, backoff, daemon restarts.
+
+Retrying a plan verb is safe by construction — requests are content-hash
+addressed on the daemon, so a re-sent request coalesces onto the in-flight
+computation or is answered from the store.  These tests pin down the retry
+*machinery*: the separate ``connection``/``draining`` budgets, the seeded
+deterministic backoff, and the headline scenario — a client surviving its
+daemon being restarted underneath it.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeError, start_in_thread
+
+CASE = "1T-1"
+SCALE = 0.12
+
+
+@contextmanager
+def serving(tmp_path, **overrides):
+    options = dict(
+        socket=str(tmp_path / "serve.sock"),
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    options.update(overrides)
+    with start_in_thread(ServeConfig(**options)) as handle:
+        yield handle
+
+
+def _fast_client(tmp_path, **overrides):
+    options = dict(
+        socket=str(tmp_path / "serve.sock"),
+        retries=5,
+        retry_base=0.02,
+        retry_cap=0.1,
+    )
+    options.update(overrides)
+    return ServeClient(**options)
+
+
+class TestDaemonRestart:
+    def test_client_survives_a_daemon_restart(self, tmp_path):
+        """Plan, restart the daemon on the same socket, plan again: the
+        second call must re-dial transparently (and hit the shared store,
+        since both daemons point at the same cache directory)."""
+        with serving(tmp_path):
+            client = _fast_client(tmp_path)
+            first = client.plan(CASE, scale=SCALE)
+            assert first.ok
+        # The daemon is gone; the client's socket is a dead end now.
+        with serving(tmp_path):  # a supervisor restarted it, same endpoint
+            second = client.plan(CASE, scale=SCALE)
+            assert second.ok
+            assert client.reconnects >= 1
+            assert client.last_outcome == "store_hit"
+            assert second.writing_time == first.writing_time
+            client.close()
+
+    def test_no_retries_means_fail_fast(self, tmp_path):
+        with serving(tmp_path):
+            client = _fast_client(tmp_path, retries=0)
+            assert client.plan(CASE, scale=SCALE).ok
+        with pytest.raises(ServeError) as excinfo:
+            client.plan(CASE, scale=SCALE)
+        assert excinfo.value.code == "connection"
+        assert client.reconnects == 0
+        client.close()
+
+    def test_initial_dial_honours_the_budget(self, tmp_path):
+        with pytest.raises(ServeError) as excinfo:
+            ServeClient(socket=str(tmp_path / "nothing.sock"),
+                        retries=2, retry_base=0.01, retry_cap=0.02)
+        assert excinfo.value.code == "connection"
+
+
+class TestRetryBudgets:
+    def test_draining_errors_have_their_own_budget(self, tmp_path):
+        """Two draining rejections, then success: the call retries through
+        them (re-dialling each time) without touching the caller."""
+        with serving(tmp_path):
+            client = _fast_client(tmp_path, retries=3, draining_retries=2)
+            outcomes = iter([
+                ServeError("draining", code="draining"),
+                ServeError("draining", code="draining"),
+                "served",
+            ])
+
+            def attempt():
+                outcome = next(outcomes)
+                if isinstance(outcome, ServeError):
+                    raise outcome
+                return outcome
+
+            assert client._retrying(attempt) == "served"
+            assert client.reconnects == 2  # one re-dial per draining retry
+            client.close()
+
+    def test_draining_budget_exhausts_independently(self, tmp_path):
+        with serving(tmp_path):
+            client = _fast_client(tmp_path, retries=5, draining_retries=1)
+            attempts = []
+
+            def attempt():
+                attempts.append(1)
+                raise ServeError("draining", code="draining")
+
+            with pytest.raises(ServeError) as excinfo:
+                client._retrying(attempt)
+            assert excinfo.value.code == "draining"
+            assert len(attempts) == 2  # the call + its single draining retry
+            client.close()
+
+    def test_non_retryable_codes_raise_immediately(self, tmp_path):
+        with serving(tmp_path):
+            client = _fast_client(tmp_path, retries=5)
+            attempts = []
+
+            def attempt():
+                attempts.append(1)
+                raise ServeError("nope", code="bad_request")
+
+            with pytest.raises(ServeError) as excinfo:
+                client._retrying(attempt)
+            assert excinfo.value.code == "bad_request"
+            assert len(attempts) == 1
+            client.close()
+
+
+class TestBackoff:
+    def test_backoff_is_seeded_and_deterministic(self, tmp_path):
+        with serving(tmp_path):
+            a = _fast_client(tmp_path, retry_seed=7)
+            b = _fast_client(tmp_path, retry_seed=7)
+            c = _fast_client(tmp_path, retry_seed=8)
+            seq_a = [a._delay(i) for i in range(1, 6)]
+            seq_b = [b._delay(i) for i in range(1, 6)]
+            seq_c = [c._delay(i) for i in range(1, 6)]
+            assert seq_a == seq_b  # same seed, same jitter sequence
+            assert seq_a != seq_c
+            for client in (a, b, c):
+                client.close()
+
+    def test_backoff_grows_exponentially_up_to_the_cap(self, tmp_path):
+        with serving(tmp_path):
+            client = _fast_client(
+                tmp_path, retry_base=0.1, retry_cap=0.4, retry_jitter=0.0
+            )
+            assert [client._delay(i) for i in range(1, 5)] == [0.1, 0.2, 0.4, 0.4]
+            client.close()
